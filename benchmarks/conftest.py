@@ -1,0 +1,52 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one paper figure at the fidelity selected by
+``REPRO_SCALE`` (tiny/small/full; default tiny so the whole suite runs in
+minutes) and writes the resulting tables to ``benchmarks/results/`` in
+addition to printing them (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.export import export_figure
+from repro.experiments.report import format_figure
+from repro.experiments.scale import preset_from_env
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def preset():
+    return preset_from_env(default="tiny")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_figure(preset, results_dir):
+    """Persist a figure's tables and echo them to stdout."""
+
+    def _record(figure):
+        text = format_figure(figure)
+        path = results_dir / f"{figure.figure_id}_{preset.name}.txt"
+        path.write_text(text)
+        export_figure(figure, results_dir, tag=preset.name)
+        print()
+        print(text)
+        print(f"[written to {path} + json/csv]")
+        return figure
+
+    return _record
+
+
+def series_at(panel, series_name, x):
+    """Read one y-value out of a sweep panel (shape assertions)."""
+    return panel.series[series_name][panel.xs.index(x)]

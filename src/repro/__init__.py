@@ -1,0 +1,107 @@
+"""repro — reproduction of "On Main-memory Flushing in Microblogs Data
+Management Systems" (Magdy, Alghamdi, Mokbel; ICDE 2016).
+
+The package implements the paper's kFlushing policy (with its
+multiple-keyword extension), the FIFO and LRU baselines, the complete
+main-memory/disk microblog store substrate they run on, synthetic
+Twitter-shaped workloads, and the full experiment harness that regenerates
+every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import MicroblogSystem, SystemConfig, KeywordQuery
+    from repro.workload import MicroblogStream, StreamConfig
+
+    system = MicroblogSystem(SystemConfig(policy="kflushing", k=20,
+                                          memory_capacity_bytes=2_000_000))
+    stream = MicroblogStream(StreamConfig(seed=1))
+    system.ingest_many(stream.take(50_000))
+    result = system.search(KeywordQuery(stream.vocabulary.tag(0)))
+    print(result.memory_hit, [p.blog_id for p in result.postings])
+"""
+
+from repro.config import SystemConfig
+from repro.core import (
+    FIFOEngine,
+    FlushReport,
+    KFlushingEngine,
+    LRUEngine,
+    MemoryEngine,
+    POLICY_NAMES,
+    create_engine,
+)
+from repro.engine import (
+    AndQuery,
+    CombineMode,
+    KeywordQuery,
+    MicroblogSystem,
+    OrQuery,
+    QueryResult,
+    SpatialQuery,
+    TopKQuery,
+    UserQuery,
+    parse_query,
+)
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    DuplicateRecordError,
+    FlushError,
+    QueryError,
+    ReproError,
+    UnknownKeyError,
+    UnknownRecordError,
+    WorkloadError,
+)
+from repro.model import (
+    GeoPoint,
+    KeywordAttribute,
+    Microblog,
+    PopularityRanking,
+    SpatialGridAttribute,
+    TemporalRanking,
+    UserAttribute,
+)
+from repro.storage import DiskArchive, MemoryModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AndQuery",
+    "CapacityError",
+    "CombineMode",
+    "ConfigurationError",
+    "create_engine",
+    "DiskArchive",
+    "DuplicateRecordError",
+    "FIFOEngine",
+    "FlushError",
+    "FlushReport",
+    "GeoPoint",
+    "KeywordAttribute",
+    "KeywordQuery",
+    "KFlushingEngine",
+    "LRUEngine",
+    "MemoryEngine",
+    "MemoryModel",
+    "Microblog",
+    "MicroblogSystem",
+    "OrQuery",
+    "POLICY_NAMES",
+    "PopularityRanking",
+    "QueryError",
+    "QueryResult",
+    "ReproError",
+    "SpatialGridAttribute",
+    "SpatialQuery",
+    "SystemConfig",
+    "TemporalRanking",
+    "TopKQuery",
+    "UnknownKeyError",
+    "UnknownRecordError",
+    "UserAttribute",
+    "UserQuery",
+    "WorkloadError",
+    "__version__",
+    "parse_query",
+]

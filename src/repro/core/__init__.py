@@ -1,0 +1,42 @@
+"""Flushing policies: kFlushing (+MK) and the FIFO / LRU baselines."""
+
+from repro.core.fifo import FIFOEngine
+from repro.core.kflushing import KFlushingEngine
+from repro.core.lru import LRUEngine
+from repro.core.policy import FlushReport, LookupResult, MemoryEngine
+from repro.core.victim_selection import select_victims_heap, select_victims_sort
+
+__all__ = [
+    "FIFOEngine",
+    "FlushReport",
+    "KFlushingEngine",
+    "LRUEngine",
+    "LookupResult",
+    "MemoryEngine",
+    "POLICY_NAMES",
+    "create_engine",
+    "select_victims_heap",
+    "select_victims_sort",
+]
+
+#: The four policies evaluated in the paper, in its plotting order.
+POLICY_NAMES = ("fifo", "kflushing", "kflushing-mk", "lru")
+
+
+def create_engine(policy: str, **kwargs) -> MemoryEngine:
+    """Instantiate a memory engine by policy name.
+
+    ``kwargs`` are the :class:`MemoryEngine` constructor arguments
+    (``model``, ``ranking``, ``attribute``, ``k``, ``capacity_bytes``,
+    ``flush_fraction``, ``disk``).
+    """
+    if policy == "fifo":
+        return FIFOEngine(**kwargs)
+    if policy == "kflushing":
+        return KFlushingEngine(mk=False, **kwargs)
+    if policy == "kflushing-mk":
+        return KFlushingEngine(mk=True, **kwargs)
+    if policy == "lru":
+        return LRUEngine(**kwargs)
+    valid = ", ".join(POLICY_NAMES)
+    raise ValueError(f"unknown policy {policy!r}; expected one of: {valid}")

@@ -1,0 +1,219 @@
+"""The three kFlushing phases (Sections III-A, III-B, III-C).
+
+Each phase is a function over a :class:`KFlushingEngine` plus a shared
+:class:`FlushContext`, invoked in order by the engine's ``flush`` until the
+budget is met:
+
+* **Phase 1 — regular flushing**: walk the overflow list L and trim every
+  entry back to its top-k, evicting postings that can never appear in a
+  top-k answer.  With the MK extension, a beyond-top-k posting survives
+  while its record is still in the top-k of another entry (Section IV-D).
+* **Phase 2 — aggressive flushing**: evict whole entries that hold fewer
+  than k postings — queries on them would miss anyway — choosing the
+  least-recently-*arrived* entries via the O(n) bounded-heap selection.
+  With the MK extension, postings whose record also lives in a k-filled
+  entry are spared.
+* **Phase 3 — forced flushing**: evict whole entries (any size) in
+  least-recently-*queried* order.  Identical in plain and MK modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable
+
+from repro.core.victim_selection import select_victims_heap
+from repro.storage.flush_buffer import FlushBuffer
+from repro.storage.posting_list import MIN_SORT_KEY, Posting, PostingList, SortKey
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.kflushing import KFlushingEngine
+
+__all__ = ["FlushContext", "run_phase1", "run_phase2", "run_phase3"]
+
+PHASE_REGULAR = "phase1-regular"
+PHASE_AGGRESSIVE = "phase2-aggressive"
+PHASE_FORCED = "phase3-forced"
+
+
+@dataclass
+class FlushContext:
+    """State shared by the phases of one flush operation."""
+
+    now: float
+    target_bytes: int
+    buffer: FlushBuffer
+    freed_bytes: int = 0
+    records_flushed: int = 0
+    postings_flushed: int = 0
+    entries_flushed: int = 0
+    #: Best sort key among postings evicted by *whole-entry* removal; the
+    #: engine folds this into its global floor so a re-created entry does
+    #: not claim completeness over the flushed period.
+    max_wholesale_key: SortKey = MIN_SORT_KEY
+    phase_freed: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def met(self) -> bool:
+        return self.freed_bytes >= self.target_bytes
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.target_bytes - self.freed_bytes)
+
+    def note_wholesale(self, sort_key: SortKey) -> None:
+        if sort_key > self.max_wholesale_key:
+            self.max_wholesale_key = sort_key
+
+
+def _evict_posting(
+    engine: "KFlushingEngine",
+    ctx: FlushContext,
+    key: Hashable,
+    posting: Posting,
+) -> int:
+    """Move one trimmed posting (and its record, if now unreferenced) to
+    the flush buffer; returns bytes freed from memory."""
+    ctx.buffer.add_posting(key, posting)
+    ctx.postings_flushed += 1
+    freed = engine.model.posting_bytes
+    record = engine.raw.decref(posting.blog_id)
+    if record is not None:
+        ctx.buffer.add_record(record)
+        ctx.records_flushed += 1
+        freed += engine.model.record_bytes(record)
+    return freed
+
+
+def run_phase1(engine: "KFlushingEngine", ctx: FlushContext) -> None:
+    """Regular flushing: trim overflow entries back to top-k."""
+    freed = 0
+    k = engine.k
+    for key in list(engine.index.overflow_keys):
+        entry = engine.index.get(key)
+        if entry is None:
+            engine.index.clear_overflow(key)
+            continue
+        if engine.mk_enabled:
+            removed = entry.trim_if(
+                k, keep=lambda p, _key=key: engine.in_top_elsewhere(p.blog_id, _key)
+            )
+        else:
+            removed = entry.trim_beyond(k)
+        engine.index.charge_removed_postings(len(removed))
+        for posting in removed:
+            freed += _evict_posting(engine, ctx, key, posting)
+        if len(entry) <= k:
+            engine.index.clear_overflow(key)
+    # The paper wipes L after Phase 1 completes.  Under MK, entries whose
+    # spared stragglers keep them over-full must *stay* in L: the paper's
+    # Figure 6(b) requires the following Phase 1 execution to re-examine
+    # them and trim records that have since left every top-k.
+    if not engine.mk_enabled:
+        engine.index.wipe_overflow()
+    ctx.freed_bytes += freed
+    ctx.phase_freed[PHASE_REGULAR] = ctx.phase_freed.get(PHASE_REGULAR, 0) + freed
+
+
+def _flush_entry(
+    engine: "KFlushingEngine",
+    ctx: FlushContext,
+    key: Hashable,
+    spare_k_filled_residents: bool,
+) -> int:
+    """Evict (most of) one entry; returns bytes freed.
+
+    With ``spare_k_filled_residents`` (MK Phase 2), postings whose record
+    also exists in a k-filled entry stay behind and the entry survives,
+    shrunken; otherwise the entry is removed wholesale.
+    """
+    entry = engine.index.get(key)
+    if entry is None:
+        return 0
+    if spare_k_filled_residents:
+        removed = entry.drain_if(
+            keep=lambda p: engine.exists_in_k_filled(p.blog_id, key)
+        )
+    else:
+        removed = entry.drain()
+    engine.index.charge_removed_postings(len(removed))
+    freed = 0
+    for posting in removed:
+        freed += _evict_posting(engine, ctx, key, posting)
+        ctx.note_wholesale(posting.sort_key)
+    if len(entry) == 0:
+        engine.index.remove_entry(key)
+        freed += engine.model.entry_overhead
+        ctx.entries_flushed += 1
+    return freed
+
+
+def _mean_record_share(engine: "KFlushingEngine") -> float:
+    """Average record bytes freed per evicted posting.
+
+    Records are shared across entries (pcount), so the exact bytes a
+    victim entry will free is only known after eviction.  Like the paper,
+    Phases 2/3 select victims on an O(1)-per-entry *estimate*: the raw
+    store's bytes spread over the live postings.  The phase loop verifies
+    the actually freed bytes and escalates when the estimate fell short.
+    """
+    postings = engine.index.posting_count()
+    if postings == 0:
+        return 0.0
+    return engine.raw.bytes_used / postings
+
+
+def run_phase2(engine: "KFlushingEngine", ctx: FlushContext) -> None:
+    """Aggressive flushing: evict under-k entries, least recently arrived
+    first, until the remaining budget is covered."""
+    remaining = ctx.remaining
+    if remaining <= 0:
+        return
+    share = _mean_record_share(engine)
+    # Inlined _entry_flush_cost: this generator scans every index entry on
+    # every flush, so attribute lookups are hoisted out of the loop.
+    k = engine.k
+    overhead = engine.model.entry_overhead
+    per_posting = engine.model.posting_bytes + share
+    candidates = (
+        (entry.last_arrival, overhead + int(len(entry) * per_posting), key)
+        for key, entry in engine.index.items()
+        if len(entry) < k
+    )
+    victims = select_victims_heap(candidates, remaining)
+    freed = 0
+    for _ts, _cost, key in victims:
+        freed += _flush_entry(
+            engine, ctx, key, spare_k_filled_residents=engine.mk_enabled
+        )
+    ctx.freed_bytes += freed
+    ctx.phase_freed[PHASE_AGGRESSIVE] = ctx.phase_freed.get(PHASE_AGGRESSIVE, 0) + freed
+
+
+def run_phase3(engine: "KFlushingEngine", ctx: FlushContext) -> None:
+    """Forced flushing: evict any entries, least recently queried first.
+
+    Identical in plain and MK modes (Section IV-D keeps Phase 3 intact).
+    Loops until the budget is met or memory holds no more entries, because
+    the per-victim cost is an estimate and MK Phases 1–2 may have left
+    entries of any size behind.
+    """
+    while ctx.remaining > 0 and len(engine.index) > 0:
+        share = _mean_record_share(engine)
+        overhead = engine.model.entry_overhead
+        per_posting = engine.model.posting_bytes + share
+        candidates = (
+            (entry.last_query, overhead + int(len(entry) * per_posting), key)
+            for key, entry in engine.index.items()
+        )
+        victims = select_victims_heap(candidates, ctx.remaining)
+        if not victims:
+            break
+        freed = 0
+        for _ts, _cost, key in victims:
+            freed += _flush_entry(engine, ctx, key, spare_k_filled_residents=False)
+        ctx.freed_bytes += freed
+        ctx.phase_freed[PHASE_FORCED] = ctx.phase_freed.get(PHASE_FORCED, 0) + freed
+        if freed == 0:
+            # Every remaining victim was already empty; nothing more to do.
+            break

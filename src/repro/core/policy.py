@@ -1,0 +1,219 @@
+"""The memory-engine interface every flushing policy implements.
+
+The paper frames a flushing policy as a pluggable module over the
+in-memory store (Figure 2), but in practice each policy dictates part of
+the store's organisation — FIFO needs a temporally segmented index, LRU
+needs a global recency list, kFlushing needs reference counts and the
+overflow list.  A :class:`MemoryEngine` therefore bundles one policy with
+the store layout it needs, behind a uniform contract the
+:class:`~repro.engine.system.MicroblogSystem` and the query executor
+program against:
+
+* ``insert`` digests one record;
+* ``lookup`` returns the in-memory postings of a key together with its
+  **completeness floor**, so the executor can decide provable memory hits;
+* ``note_query`` feeds query-access information back to the policy (LRU
+  recency touches, kFlushing's per-entry last-query timestamps);
+* ``flush`` evicts at least the configured budget to the disk archive and
+  returns a :class:`FlushReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.model.attributes import AttributeExtractor
+from repro.model.microblog import Microblog
+from repro.model.ranking import RankingFunction
+from repro.storage.disk import DiskArchive
+from repro.storage.memory_model import MemoryModel
+from repro.storage.posting_list import MIN_SORT_KEY, Posting, SortKey
+
+__all__ = ["LookupResult", "FlushReport", "MemoryEngine"]
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """In-memory postings of one key plus their completeness guarantee.
+
+    ``candidates`` are best-rank-first.  Every posting for this key whose
+    sort key is strictly above ``floor`` is guaranteed to be present in
+    ``candidates``; below the floor, memory may be missing items and only
+    the disk knows the truth.
+    """
+
+    key: Hashable
+    candidates: tuple[Posting, ...]
+    floor: SortKey
+
+    def provable_top(self, k: int) -> Optional[tuple[Posting, ...]]:
+        """The top-k iff provably complete in memory, else None."""
+        if len(self.candidates) < k:
+            return None
+        top = self.candidates[:k]
+        if top[-1].sort_key <= self.floor:
+            return None
+        return tuple(top)
+
+    @property
+    def count_above_floor(self) -> int:
+        return sum(1 for p in self.candidates if p.sort_key > self.floor)
+
+
+@dataclass
+class FlushReport:
+    """What one flush operation did, for metrics and the Figure 5 series."""
+
+    policy: str
+    triggered_at: float
+    target_bytes: int
+    freed_bytes: int = 0
+    records_flushed: int = 0
+    postings_flushed: int = 0
+    entries_flushed: int = 0
+    bytes_written_to_disk: int = 0
+    #: Freed bytes attributed to each kFlushing phase (empty for baselines).
+    phase_freed: dict[str, int] = field(default_factory=dict)
+    #: Wall-clock seconds the flush took (the CPU overhead the paper keeps
+    #: off the digestion path via a separate thread).
+    wall_seconds: float = 0.0
+
+    @property
+    def met_target(self) -> bool:
+        return self.freed_bytes >= self.target_bytes
+
+
+class MemoryEngine(ABC):
+    """One flushing policy bundled with the store layout it requires."""
+
+    #: Stable identifier: "kflushing", "kflushing-mk", "fifo", or "lru".
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        *,
+        model: MemoryModel,
+        ranking: RankingFunction,
+        attribute: AttributeExtractor,
+        k: int,
+        capacity_bytes: int,
+        flush_fraction: float,
+        disk: DiskArchive,
+    ) -> None:
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+        if capacity_bytes <= 0:
+            raise ConfigurationError(f"capacity_bytes must be positive, got {capacity_bytes}")
+        if not 0.0 < flush_fraction <= 1.0:
+            raise ConfigurationError(
+                f"flush_fraction must be in (0, 1], got {flush_fraction}"
+            )
+        self.model = model
+        self.ranking = ranking
+        self.attribute = attribute
+        self.k = k
+        self.capacity_bytes = capacity_bytes
+        self.flush_fraction = flush_fraction
+        self.disk = disk
+        self.flush_reports: list[FlushReport] = []
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def insert(self, record: Microblog) -> bool:
+        """Digest one record.  Returns False when the record has no keys
+        under this attribute (and is therefore skipped)."""
+
+    @abstractmethod
+    def lookup(self, key: Hashable, depth: Optional[int] = None) -> LookupResult:
+        """In-memory postings for ``key`` with their completeness floor.
+
+        ``depth`` caps the number of (best-ranked) candidates returned;
+        None returns everything.  Single-key and OR evaluation only ever
+        need the top-k, which keeps hot-key lookups O(k) even when an
+        entry holds thousands of postings (FIFO's unsorted segments).
+        """
+
+    def note_query(
+        self,
+        keys: Sequence[Hashable],
+        accessed_ids: Iterable[int],
+        now: float,
+    ) -> None:
+        """Policy feedback after a query: which keys were searched and
+        which record ids the answer touched.  Default: no bookkeeping."""
+
+    @abstractmethod
+    def get_record(self, blog_id: int) -> Optional[Microblog]:
+        """A memory-resident record by id, or None if not resident."""
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def memory_bytes(self) -> int:
+        """Modelled bytes of records + index data currently in memory."""
+
+    def needs_flush(self) -> bool:
+        """Whether the memory budget is exhausted."""
+        return self.memory_bytes >= self.capacity_bytes
+
+    def flush_target_bytes(self) -> int:
+        """The minimum bytes one flush must evict (the budget B)."""
+        return max(1, int(self.flush_fraction * self.memory_bytes))
+
+    @abstractmethod
+    def flush(self, now: float) -> FlushReport:
+        """Evict at least the flush budget to disk; returns the report."""
+
+    def run_flush(self, now: float) -> FlushReport:
+        """Template wrapper: times the flush and records the report."""
+        start = time.perf_counter()
+        report = self.flush(now)
+        report.wall_seconds = time.perf_counter() - start
+        self.flush_reports.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Metrics and extensibility
+    # ------------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def policy_overhead_bytes(self) -> int:
+        """Modelled bytes of the policy's private bookkeeping (Fig 10a)."""
+
+    @abstractmethod
+    def k_filled_count(self) -> int:
+        """Keys whose provable in-memory top-k is complete (Fig 7)."""
+
+    @abstractmethod
+    def frequency_snapshot(self) -> dict[Hashable, int]:
+        """Key -> in-memory posting count (the Figure 1 snapshot)."""
+
+    @abstractmethod
+    def record_count(self) -> int:
+        """Records currently resident in memory."""
+
+    def set_k(self, k: int) -> None:
+        """Dynamic k (Section IV-C): takes effect at the next flush."""
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+        self.k = k
+
+    def check_integrity(self) -> None:
+        """Assert engine invariants; overridden where state is richer."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(k={self.k}, capacity={self.capacity_bytes}, "
+            f"B={self.flush_fraction:.0%}, attr={self.attribute.name})"
+        )

@@ -1,0 +1,85 @@
+"""Victim selection for Phases 2 and 3: pick the least-recent entry set.
+
+Section III-B: the straightforward implementation sorts all n in-memory
+keys by their timestamp and takes a prefix — O(n log n).  The paper's
+"smarter algorithm that is only O(n)" keeps a bounded max-heap of chosen
+victims: seed it with entries until the requested budget is covered, then
+for each remaining entry that is *older* than the heap's most recent
+member, insert it and pop the most recent members for as long as the
+budget stays covered.
+
+Both algorithms are implemented here — the heap one is used by kFlushing,
+the sort one exists as the comparison baseline for the ablation benchmark
+(``benchmarks/test_ablation_victim_selection.py``) and as a cross-check in
+property tests (same victim set for distinct timestamps).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, TypeVar
+
+__all__ = ["select_victims_heap", "select_victims_sort", "Candidate"]
+
+T = TypeVar("T")
+
+#: (recency_timestamp, cost_bytes, payload) — lower timestamp = older =
+#: preferred victim.  ``cost_bytes`` must be positive.
+Candidate = tuple[float, int, T]
+
+
+def select_victims_heap(
+    candidates: Iterable[Candidate],
+    target_bytes: int,
+) -> list[Candidate]:
+    """Single-pass bounded-heap selection (the paper's O(n) algorithm).
+
+    Returns a subset of ``candidates`` whose total cost is at least
+    ``target_bytes`` and whose members are the least-recent ones that can
+    cover it.  When all candidates together cannot cover the target, all
+    of them are returned (the caller escalates to the next phase).
+    """
+    if target_bytes <= 0:
+        return []
+    # Max-heap on recency: most recent victim on top, ready to be replaced
+    # by an older candidate.  heapq is a min-heap, so negate the timestamp.
+    # The sequence number breaks ties without comparing payloads.
+    heap: list[tuple[float, int, int, T]] = []
+    total = 0
+    for seq, (ts, cost, payload) in enumerate(candidates):
+        if cost <= 0:
+            raise ValueError(f"candidate cost must be positive, got {cost}")
+        if total < target_bytes:
+            heapq.heappush(heap, (-ts, seq, cost, payload))
+            total += cost
+            continue
+        most_recent_ts = -heap[0][0]
+        if ts >= most_recent_ts:
+            continue
+        # An older candidate: bring it in, then shed the most recent
+        # members while the budget stays covered.
+        heapq.heappush(heap, (-ts, seq, cost, payload))
+        total += cost
+        while heap and total - heap[0][2] >= target_bytes:
+            total -= heapq.heappop(heap)[2]
+    return [(-neg_ts, cost, payload) for neg_ts, _seq, cost, payload in heap]
+
+
+def select_victims_sort(
+    candidates: Iterable[Candidate],
+    target_bytes: int,
+) -> list[Candidate]:
+    """Reference O(n log n) selection: sort by recency, take a prefix."""
+    if target_bytes <= 0:
+        return []
+    ordered = sorted(candidates, key=lambda c: c[0])
+    chosen: list[Candidate] = []
+    total = 0
+    for candidate in ordered:
+        if candidate[1] <= 0:
+            raise ValueError(f"candidate cost must be positive, got {candidate[1]}")
+        if total >= target_bytes:
+            break
+        chosen.append(candidate)
+        total += candidate[1]
+    return chosen

@@ -1,0 +1,41 @@
+"""Logical clock: deterministic simulated time.
+
+Experiments are deterministic: instead of wall time, every record carries a
+simulated arrival timestamp assigned by its stream (e.g. 6,000 tweets/s →
+1/6000 s apart), and the system's notion of *now* advances with the data.
+:class:`LogicalClock` is the tiny monotone holder both the system and the
+workload generators use.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LogicalClock"]
+
+
+class LogicalClock:
+    """A monotone simulated clock."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, time: float) -> float:
+        """Move the clock forward to ``time`` (ignores moves backward)."""
+        if time > self._now:
+            self._now = time
+        return self._now
+
+    def advance_by(self, delta: float) -> float:
+        """Move the clock forward by a non-negative ``delta``."""
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        self._now += delta
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LogicalClock(now={self._now:.6f})"

@@ -1,0 +1,97 @@
+"""A small query-string parser for interactive use.
+
+The paper points at microblog query languages (TweeQL et al.) as the
+layer above basic search; applications and the CLI want to accept search
+strings rather than construct query objects.  The grammar is the one
+users already know from Twitter's search box:
+
+* ``obama``                    — single-keyword top-k
+* ``obama nba`` / ``obama AND nba`` — conjunction (Twitter's implicit AND)
+* ``obama OR nba``             — disjunction
+* ``user:1234``                — a user timeline
+* ``tile:12,-34``              — a spatial grid tile
+* any query may end with ``k:50`` to override the answer size.
+
+Mixing AND and OR in one query is not supported (neither does the paper);
+the parser raises :class:`~repro.errors.QueryError` with a message saying
+so.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.engine.queries import (
+    AndQuery,
+    DEFAULT_K,
+    KeywordQuery,
+    OrQuery,
+    SpatialQuery,
+    TopKQuery,
+    UserQuery,
+)
+from repro.errors import QueryError
+
+__all__ = ["parse_query"]
+
+_K_RE = re.compile(r"^k:(\d+)$", re.IGNORECASE)
+_USER_RE = re.compile(r"^user:(\d+)$", re.IGNORECASE)
+_TILE_RE = re.compile(r"^tile:(-?\d+),(-?\d+)$", re.IGNORECASE)
+
+
+def parse_query(text: str, default_k: int = DEFAULT_K) -> TopKQuery:
+    """Parse a search string into a :class:`TopKQuery`.
+
+    >>> parse_query("obama OR nba k:5").k
+    5
+    >>> parse_query("user:42").keys
+    (42,)
+    """
+    tokens = text.split()
+    if not tokens:
+        raise QueryError("empty query string")
+
+    k = default_k
+    # A trailing (or anywhere) k:N token overrides the answer size.
+    remaining: list[str] = []
+    for token in tokens:
+        match = _K_RE.match(token)
+        if match:
+            k = int(match.group(1))
+            if k <= 0:
+                raise QueryError(f"k must be positive, got {k}")
+        else:
+            remaining.append(token)
+    if not remaining:
+        raise QueryError(f"no search terms in {text!r}")
+
+    # user: / tile: prefixed queries are single-key by construction.
+    if len(remaining) == 1:
+        match = _USER_RE.match(remaining[0])
+        if match:
+            return UserQuery(int(match.group(1)), k=k)
+        match = _TILE_RE.match(remaining[0])
+        if match:
+            return SpatialQuery((int(match.group(1)), int(match.group(2))), k=k)
+        return KeywordQuery(remaining[0], k=k)
+
+    uppers = [token.upper() for token in remaining]
+    has_or = "OR" in uppers
+    has_and = "AND" in uppers
+    if has_or and has_and:
+        raise QueryError(
+            f"cannot mix AND and OR in one query: {text!r} "
+            "(the underlying system evaluates pure conjunctions or "
+            "disjunctions, as in the paper)"
+        )
+    keywords = [token for token in remaining if token.upper() not in ("AND", "OR")]
+    if any(_USER_RE.match(t) or _TILE_RE.match(t) for t in keywords):
+        raise QueryError(
+            f"user:/tile: terms cannot be combined with keywords: {text!r}"
+        )
+    if len(keywords) == 1:
+        return KeywordQuery(keywords[0], k=k)
+    if has_or:
+        return OrQuery(keywords, k=k)
+    # Twitter semantics: bare juxtaposition is an implicit AND.
+    return AndQuery(keywords, k=k)

@@ -1,0 +1,111 @@
+"""Top-k query types (Section II-B and IV-D).
+
+All microblog search queries are top-k queries over one search attribute.
+The executor works on a normalised form — a tuple of index keys plus a
+combination mode — while the public classes below give each of the paper's
+query families an explicit, validated constructor:
+
+* :class:`KeywordQuery` — "find k microblogs containing a keyword";
+* :class:`AndQuery` / :class:`OrQuery` — multi-keyword conjunction /
+  disjunction (Section IV-D);
+* :class:`UserQuery` — a user's timeline (Figure 12);
+* :class:`SpatialQuery` — microblogs posted at a location (Figure 11).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.errors import QueryError
+from repro.model.keywords import normalize_keyword
+
+__all__ = [
+    "CombineMode",
+    "TopKQuery",
+    "KeywordQuery",
+    "AndQuery",
+    "OrQuery",
+    "UserQuery",
+    "SpatialQuery",
+]
+
+DEFAULT_K = 20
+
+
+class CombineMode(enum.Enum):
+    """How a multi-key query combines its keys."""
+
+    SINGLE = "single"
+    AND = "and"
+    OR = "or"
+
+
+@dataclass(frozen=True)
+class TopKQuery:
+    """The normalised query the executor evaluates.
+
+    ``keys`` are already in the index key space of the system's attribute
+    (normalised keywords, a user id, a grid tile).
+    """
+
+    keys: tuple[Hashable, ...]
+    k: int = DEFAULT_K
+    mode: CombineMode = CombineMode.SINGLE
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise QueryError(f"k must be positive, got {self.k}")
+        if not self.keys:
+            raise QueryError("a query needs at least one search key")
+        if self.mode is CombineMode.SINGLE and len(self.keys) != 1:
+            raise QueryError(
+                f"single-key query got {len(self.keys)} keys; use AndQuery/OrQuery"
+            )
+        if self.mode is not CombineMode.SINGLE and len(self.keys) < 2:
+            raise QueryError(f"{self.mode.value.upper()} query needs at least two keys")
+        if len(set(self.keys)) != len(self.keys):
+            raise QueryError(f"duplicate keys in query: {self.keys!r}")
+
+
+def KeywordQuery(keyword: str, k: int = DEFAULT_K) -> TopKQuery:
+    """Find the top-k microblogs containing ``keyword``."""
+    key = normalize_keyword(keyword)
+    if not key:
+        raise QueryError(f"empty keyword after normalisation: {keyword!r}")
+    return TopKQuery(keys=(key,), k=k, mode=CombineMode.SINGLE)
+
+
+def _keyword_keys(keywords: Iterable[str]) -> tuple[str, ...]:
+    keys = []
+    for raw in keywords:
+        key = normalize_keyword(raw)
+        if not key:
+            raise QueryError(f"empty keyword after normalisation: {raw!r}")
+        keys.append(key)
+    return tuple(keys)
+
+
+def AndQuery(keywords: Iterable[str], k: int = DEFAULT_K) -> TopKQuery:
+    """Find the top-k microblogs containing *all* of ``keywords``."""
+    return TopKQuery(keys=_keyword_keys(keywords), k=k, mode=CombineMode.AND)
+
+
+def OrQuery(keywords: Iterable[str], k: int = DEFAULT_K) -> TopKQuery:
+    """Find the top-k microblogs containing *any* of ``keywords``."""
+    return TopKQuery(keys=_keyword_keys(keywords), k=k, mode=CombineMode.OR)
+
+
+def UserQuery(user_id: int, k: int = DEFAULT_K) -> TopKQuery:
+    """Find the top-k microblogs posted by ``user_id`` (a timeline)."""
+    return TopKQuery(keys=(user_id,), k=k, mode=CombineMode.SINGLE)
+
+
+def SpatialQuery(tile: tuple[int, int], k: int = DEFAULT_K) -> TopKQuery:
+    """Find the top-k microblogs posted in a grid ``tile``.
+
+    Use :meth:`~repro.model.attributes.SpatialGridAttribute.tile_of` to
+    map a latitude/longitude to its tile.
+    """
+    return TopKQuery(keys=(tile,), k=k, mode=CombineMode.SINGLE)

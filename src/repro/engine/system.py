@@ -1,0 +1,192 @@
+"""The system facade: ingestion, flushing, and query serving in one object.
+
+:class:`MicroblogSystem` wires a configured memory engine (policy + store
+layout), the simulated disk archive, the query executor, and the metrics
+together, reproducing the environment of the paper's Figure 2:
+
+* a stream of microblogs is *digested* into the in-memory store;
+* when the memory budget fills, the flushing policy evicts at least the
+  flushing budget B to disk;
+* incoming top-k queries are answered memory-first, falling back to disk
+  on a miss — and the hit ratio is the headline metric.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Hashable, Iterable, Optional
+
+from repro.config import SystemConfig
+from repro.core import create_engine
+from repro.core.policy import FlushReport, MemoryEngine
+from repro.engine.clock import LogicalClock
+from repro.engine.executor import QueryExecutor, QueryResult
+from repro.engine.queries import TopKQuery
+from repro.engine.stats import SystemStats
+from repro.errors import CapacityError
+from repro.model.microblog import Microblog
+from repro.storage.disk import DiskArchive
+
+__all__ = ["MicroblogSystem"]
+
+
+class MicroblogSystem:
+    """A complete microblogs data-management system (Figure 2)."""
+
+    def __init__(self, config: SystemConfig, strict_and: bool = False) -> None:
+        self.config = config
+        self.attribute = config.build_attribute()
+        self.ranking = config.build_ranking()
+        self.disk = DiskArchive(config.memory_model, config.disk_cost)
+        self.engine: MemoryEngine = create_engine(
+            config.policy,
+            model=config.memory_model,
+            ranking=self.ranking,
+            attribute=self.attribute,
+            k=config.k,
+            capacity_bytes=config.memory_capacity_bytes,
+            flush_fraction=config.flush_fraction,
+            disk=self.disk,
+        )
+        self.executor = QueryExecutor(
+            self.engine,
+            self.disk,
+            strict_and=strict_and,
+            and_scan_depth=config.and_scan_depth,
+            and_disk_limit=config.and_disk_limit,
+        )
+        self.clock = LogicalClock()
+        self.stats = SystemStats()
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def ingest(self, record: Microblog) -> bool:
+        """Digest one record; triggers a flush when memory fills.
+
+        Returns False when the record has no keys under the configured
+        attribute (e.g. a tweet without hashtags in a keyword system) and
+        was skipped.
+        """
+        self.clock.advance_to(record.timestamp)
+        self.stats.ingest.offered += 1
+        start = time.perf_counter()
+        indexed = self.engine.insert(record)
+        self.stats.ingest.insert_seconds += time.perf_counter() - start
+        if indexed:
+            self.stats.ingest.indexed += 1
+        else:
+            self.stats.ingest.skipped += 1
+            return False
+        if self.engine.needs_flush():
+            self._flush()
+        return True
+
+    def ingest_many(self, records: Iterable[Microblog]) -> int:
+        """Digest a batch; returns how many records were indexed."""
+        indexed = 0
+        for record in records:
+            if self.ingest(record):
+                indexed += 1
+        return indexed
+
+    def _flush(self) -> FlushReport:
+        before = self.engine.memory_bytes
+        self.stats.sample_memory(
+            self.now, before, self.config.memory_capacity_bytes, kind="before"
+        )
+        report = self.engine.run_flush(self.now)
+        self.stats.ingest.flush_seconds += report.wall_seconds
+        after = self.engine.memory_bytes
+        self.stats.sample_memory(
+            self.now, after, self.config.memory_capacity_bytes, kind="after"
+        )
+        if report.freed_bytes <= 0 and after >= self.config.memory_capacity_bytes:
+            raise CapacityError(
+                f"flush freed nothing at {after} bytes used of "
+                f"{self.config.memory_capacity_bytes}; a single record may "
+                "exceed the memory budget"
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def search(self, query: TopKQuery, now: Optional[float] = None) -> QueryResult:
+        """Evaluate a top-k query and record hit/miss statistics."""
+        executed_at = self.now if now is None else now
+        result = self.executor.execute(query, executed_at)
+        self.stats.queries.record(
+            query.mode, result.memory_hit, result.simulated_latency
+        )
+        return result
+
+    def fetch_records(self, result: QueryResult) -> list[Microblog]:
+        """Materialize the record bodies of a query result."""
+        return self.executor.materialize(result)
+
+    # ------------------------------------------------------------------
+    # Control and metrics
+    # ------------------------------------------------------------------
+
+    def set_k(self, k: int) -> None:
+        """Change k at run time (Section IV-C); applies from the next
+        flush cycle onward."""
+        self.engine.set_k(k)
+
+    def hit_ratio(self) -> float:
+        return self.stats.queries.hit_ratio
+
+    def k_filled_count(self) -> int:
+        return self.engine.k_filled_count()
+
+    def memory_utilization(self) -> float:
+        return self.engine.memory_bytes / self.config.memory_capacity_bytes
+
+    def frequency_snapshot(self) -> dict[Hashable, int]:
+        return self.engine.frequency_snapshot()
+
+    def flush_reports(self) -> list[FlushReport]:
+        return self.engine.flush_reports
+
+    def digestion_rate(self) -> float:
+        """Pure insert-path digestion rate (records per wall second)."""
+        return self.stats.ingest.digestion_rate
+
+    def effective_digestion_rate(self) -> float:
+        """Digestion rate charged with all work that contends with the
+        ingestion path in a real deployment: flushing and the policy
+        bookkeeping triggered by queries.  This is the Figure 10(b)
+        measure — it is what separates FIFO, kFlushing, kFlushing-MK, and
+        LRU when queries and flushes run alongside ingestion.
+        """
+        ingest = self.stats.ingest
+        total = ingest.insert_seconds + ingest.flush_seconds
+        total += self.executor.bookkeeping_seconds
+        if total <= 0.0:
+            return 0.0
+        return ingest.indexed / total
+
+    def policy_overhead_bytes(self) -> int:
+        return self.engine.policy_overhead_bytes
+
+    def latency_percentile(self, p: float) -> float:
+        """Simulated query-latency percentile (the intro's SLO measure):
+        memory hits cost microseconds, misses pay simulated disk I/O."""
+        return self.stats.queries.latency.percentile(p)
+
+    def check_integrity(self) -> None:
+        self.engine.check_integrity()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MicroblogSystem(policy={self.config.policy!r}, "
+            f"attr={self.attribute.name!r}, k={self.engine.k}, "
+            f"records={self.engine.record_count()})"
+        )

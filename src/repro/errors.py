@@ -1,0 +1,53 @@
+"""Exception hierarchy for the microblogs data-management reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch one type at their boundary.  Subclasses are split by
+subsystem so that tests and callers can assert on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A :class:`~repro.config.SystemConfig` (or a component parameter)
+    carries an invalid or inconsistent value."""
+
+
+class CapacityError(ReproError):
+    """A store was asked to hold data that cannot fit even after flushing.
+
+    This occurs, for example, when a single microblog record is larger than
+    the whole configured memory budget.
+    """
+
+
+class DuplicateRecordError(ReproError):
+    """A record with an already-ingested ``blog_id`` was inserted again."""
+
+
+class UnknownRecordError(ReproError, KeyError):
+    """A ``blog_id`` was requested that is in neither memory nor disk."""
+
+
+class UnknownKeyError(ReproError, KeyError):
+    """An index key (keyword, user id, tile id) has no entry anywhere."""
+
+
+class FlushError(ReproError):
+    """A flushing policy could not satisfy its contract.
+
+    Raised when a policy finishes all of its phases without freeing the
+    requested budget even though the budget was satisfiable.
+    """
+
+
+class QueryError(ReproError):
+    """A query object is malformed (e.g. ``k <= 0`` or no search keys)."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with impossible parameters."""

@@ -1,0 +1,82 @@
+"""Export experiment results to machine-readable formats.
+
+The ASCII tables of :mod:`repro.experiments.report` are for reading;
+plotting and downstream analysis want data files.  This module writes a
+:class:`~repro.experiments.figures.FigureResult` to
+
+* **JSON** — one file per figure, panels nested, lossless;
+* **CSV**  — one file per sweep panel, one row per x value, one column
+  per series (table panels export their rows verbatim).
+
+The benchmark harness calls :func:`export_figure` next to its text
+output, so ``benchmarks/results/`` always carries both forms.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.figures import FigureResult, SweepResult, TableResult
+
+__all__ = ["figure_to_dict", "export_figure"]
+
+PathLike = Union[str, Path]
+
+
+def figure_to_dict(figure: FigureResult) -> dict:
+    """Lossless dict form of a figure (JSON-serialisable)."""
+    panels = []
+    for panel in figure.panels:
+        data = asdict(panel)
+        data["kind"] = "sweep" if isinstance(panel, SweepResult) else "table"
+        panels.append(data)
+    return {
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "panels": panels,
+    }
+
+
+def _export_sweep_csv(panel: SweepResult, path: Path) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([panel.x_label] + list(panel.series))
+        for i, x in enumerate(panel.xs):
+            writer.writerow([x] + [panel.series[name][i] for name in panel.series])
+
+
+def _export_table_csv(panel: TableResult, path: Path) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(panel.headers)
+        writer.writerows(panel.rows)
+
+
+def export_figure(figure: FigureResult, directory: PathLike, tag: str = "") -> list[Path]:
+    """Write JSON + per-panel CSVs under ``directory``.
+
+    ``tag`` (e.g. the scale-preset name) is appended to file stems so
+    results from different fidelities can coexist.  Returns the written
+    paths.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    suffix = f"_{tag}" if tag else ""
+    written: list[Path] = []
+
+    json_path = directory / f"{figure.figure_id}{suffix}.json"
+    json_path.write_text(json.dumps(figure_to_dict(figure), indent=2))
+    written.append(json_path)
+
+    for panel in figure.panels:
+        csv_path = directory / f"{panel.panel_id}{suffix}.csv"
+        if isinstance(panel, SweepResult):
+            _export_sweep_csv(panel, csv_path)
+        else:
+            _export_table_csv(panel, csv_path)
+        written.append(csv_path)
+    return written

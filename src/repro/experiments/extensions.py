@@ -1,0 +1,118 @@
+"""Extension experiments beyond the paper's figures.
+
+Two studies that probe the *why* behind the paper's results:
+
+* :func:`ext_skew_sensitivity` — kFlushing's advantage comes from
+  keyword-frequency skew (the useless beyond-top-k mass under temporal
+  flushing).  Sweeping the stream's Zipf exponent quantifies it: at zero
+  skew there is little to trim; the margin peaks at moderate skew, where
+  the mid-tail keywords are both queried and salvageable; at extreme
+  skew a *correlated* load concentrates on head keywords every policy
+  retains, so the margin narrows again — which is exactly why the
+  paper's uniform (tail-heavy) load shows kFlushing's largest relative
+  gains.
+
+* :func:`ext_and_semantics` — the paper counts an AND query as a memory
+  hit when k intersecting records are found in memory (operational).
+  This repo can also *prove* hits via completeness floors (strict).  The
+  ablation measures the gap between the two accountings for kFlushing
+  and kFlushing-MK, i.e. how much of the reported AND hit ratio rests on
+  unprovable-but-probably-fine answers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult, SweepResult
+from repro.experiments.runner import TrialSpec, run_trial
+from repro.experiments.scale import SMALL, ScalePreset
+
+__all__ = ["ext_skew_sensitivity", "ext_and_semantics"]
+
+ZIPF_SWEEP = (0.0, 0.4, 0.7, 1.0, 1.2)
+
+
+def ext_skew_sensitivity(preset: ScalePreset = SMALL, seed: int = 42) -> FigureResult:
+    """Hit-ratio improvement of kFlushing over FIFO vs keyword skew."""
+    policies = ("fifo", "kflushing")
+    hit: dict[str, list[float]] = {policy: [] for policy in policies}
+    k_filled: dict[str, list[float]] = {policy: [] for policy in policies}
+    for exponent in ZIPF_SWEEP:
+        for policy in policies:
+            result = run_trial(
+                TrialSpec(
+                    policy=policy, keyword_zipf=exponent, scale=preset, seed=seed
+                )
+            )
+            hit[policy].append(round(result.hit_percent, 2))
+            k_filled[policy].append(float(result.k_filled))
+    hit["kflushing-gain-pts"] = [
+        round(kf - fifo, 2) for kf, fifo in zip(hit["kflushing"], hit["fifo"])
+    ]
+    return FigureResult(
+        figure_id="ext1",
+        title="Extension: sensitivity to keyword skew",
+        panels=[
+            SweepResult(
+                panel_id="ext1a",
+                title="hit ratio vs keyword Zipf exponent",
+                x_label="zipf exponent",
+                y_label="hit ratio (%)",
+                xs=list(ZIPF_SWEEP),
+                series=hit,
+                expectation=(
+                    "The margin is a hump: small at zero skew (nothing to "
+                    "trim), peaking at moderate skew where the mid-tail "
+                    "is both queried and salvageable, and narrowing at "
+                    "extreme skew where a correlated load is served off "
+                    "the always-resident head by any policy.  This is why "
+                    "the paper's *uniform* load (which keeps querying the "
+                    "tail) shows kFlushing's largest relative gains."
+                ),
+            ),
+            SweepResult(
+                panel_id="ext1b",
+                title="k-filled keys vs keyword Zipf exponent",
+                x_label="zipf exponent",
+                y_label="k-filled keys",
+                xs=list(ZIPF_SWEEP),
+                series=k_filled,
+                expectation="Same mechanism seen structurally.",
+            ),
+        ],
+    )
+
+
+def ext_and_semantics(preset: ScalePreset = SMALL, seed: int = 42) -> FigureResult:
+    """AND hit ratio under operational vs strict (provable) accounting."""
+    series: dict[str, list[float]] = {}
+    xs = [0.0, 1.0]  # 0 = operational, 1 = strict (categorical axis)
+    for policy in ("kflushing", "kflushing-mk"):
+        row = []
+        for strict in (False, True):
+            result = run_trial(
+                TrialSpec(policy=policy, strict_and=strict, scale=preset, seed=seed)
+            )
+            row.append(round(100.0 * result.hit_ratio_by_mode["and"], 2))
+        series[policy] = row
+    return FigureResult(
+        figure_id="ext2",
+        title="Extension: AND hit accounting — operational vs strict",
+        panels=[
+            SweepResult(
+                panel_id="ext2",
+                title="AND-query hit ratio (x=0 operational, x=1 strict)",
+                x_label="accounting (0=operational, 1=strict)",
+                y_label="AND hit ratio (%)",
+                xs=xs,
+                series=series,
+                expectation=(
+                    "Strict accounting can only lower AND hit ratios; the "
+                    "gap is the share of AND answers assembled from "
+                    "postings below completeness floors — precisely what "
+                    "the MK trim rules retain.  kFlushing-MK keeps a "
+                    "large operational win and retains part of it even "
+                    "under strict proof."
+                ),
+            )
+        ],
+    )

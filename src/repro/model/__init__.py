@@ -1,0 +1,38 @@
+"""Data model: records, keyword extraction, ranking, attribute extractors."""
+
+from repro.model.attributes import (
+    AttributeExtractor,
+    KeywordAttribute,
+    SpatialGridAttribute,
+    UserAttribute,
+    attribute_from_name,
+)
+from repro.model.keywords import extract_hashtags, extract_terms, normalize_keyword
+from repro.model.microblog import GeoPoint, Microblog
+from repro.model.ranking import (
+    CallableRanking,
+    PopularityRanking,
+    RankingFunction,
+    TemporalRanking,
+    WeightedRanking,
+    ranking_from_name,
+)
+
+__all__ = [
+    "AttributeExtractor",
+    "CallableRanking",
+    "GeoPoint",
+    "KeywordAttribute",
+    "Microblog",
+    "PopularityRanking",
+    "RankingFunction",
+    "SpatialGridAttribute",
+    "TemporalRanking",
+    "UserAttribute",
+    "WeightedRanking",
+    "attribute_from_name",
+    "extract_hashtags",
+    "extract_terms",
+    "normalize_keyword",
+    "ranking_from_name",
+]

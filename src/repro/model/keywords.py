@@ -1,0 +1,109 @@
+"""Keyword extraction and normalisation.
+
+The paper indexes tweets by their hashtags ("we use hashtags, if available,
+as keywords", Section V).  This module provides the tokenizer used when a
+data source supplies raw text instead of pre-extracted keywords, plus the
+normalisation rules shared by the indexer and the query parser so that a
+query for ``#Obama`` matches a record tagged ``#obama``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+__all__ = [
+    "normalize_keyword",
+    "extract_hashtags",
+    "extract_terms",
+    "STOPWORDS",
+]
+
+# A compact English stopword list.  Term extraction (the non-hashtag
+# fallback) drops these so that the inverted index is not dominated by
+# function words that no user would search for.
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above after again all am an and any are as at be because been
+    before being below between both but by did do does doing down during
+    each few for from further had has have having he her here hers him his
+    how i if in into is it its just me more most my no nor not now of off
+    on once only or other our out over own same she so some such than that
+    the their them then there these they this those through to too under
+    until up very was we were what when where which while who whom why will
+    with you your
+    """.split()
+)
+
+_HASHTAG_RE = re.compile(r"#(\w[\w'-]*)", re.UNICODE)
+_TERM_RE = re.compile(r"[A-Za-z][A-Za-z'-]{1,}", re.UNICODE)
+
+
+def normalize_keyword(raw: str) -> str:
+    """Normalise a keyword for indexing and querying.
+
+    Lower-cases, strips a leading ``#`` and surrounding whitespace.  Returns
+    the empty string when nothing indexable remains; callers must skip empty
+    results.
+    """
+    kw = raw.strip().lstrip("#").lower()
+    return kw
+
+
+def extract_hashtags(text: str) -> tuple[str, ...]:
+    """Extract normalised, de-duplicated hashtags from ``text`` in order of
+    first appearance.
+
+    >>> extract_hashtags("Breaking #NBA finals!!! #nba #obama")
+    ('nba', 'obama')
+    """
+    seen: set[str] = set()
+    out: list[str] = []
+    for match in _HASHTAG_RE.finditer(text):
+        kw = normalize_keyword(match.group(1))
+        if kw and kw not in seen:
+            seen.add(kw)
+            out.append(kw)
+    return tuple(out)
+
+
+def _iter_terms(text: str) -> Iterator[str]:
+    for match in _TERM_RE.finditer(text):
+        term = match.group(0).lower()
+        if term not in STOPWORDS:
+            yield term
+
+
+def extract_terms(text: str, limit: int | None = None) -> tuple[str, ...]:
+    """Extract normalised, de-duplicated content terms from ``text``.
+
+    Used as a fallback keyword source for records without hashtags.  At most
+    ``limit`` terms are returned (``None`` means unlimited), in order of
+    first appearance.
+
+    >>> extract_terms("The game was in the final minute")
+    ('game', 'final', 'minute')
+    """
+    seen: set[str] = set()
+    out: list[str] = []
+    for term in _iter_terms(text):
+        if term in seen:
+            continue
+        seen.add(term)
+        out.append(term)
+        if limit is not None and len(out) >= limit:
+            break
+    return tuple(out)
+
+
+def normalize_all(raws: Iterable[str]) -> tuple[str, ...]:
+    """Normalise an iterable of raw keywords, dropping empties and
+    duplicates while preserving first-appearance order."""
+    seen: set[str] = set()
+    out: list[str] = []
+    for raw in raws:
+        kw = normalize_keyword(raw)
+        if kw and kw not in seen:
+            seen.add(kw)
+            out.append(kw)
+    return tuple(out)

@@ -1,0 +1,179 @@
+"""Simulated disk archive: where flushed microblogs go.
+
+The paper's disk tier (Figure 2/3) mirrors the in-memory layout — a raw
+record store plus an attribute index — and is "an expensive process" to
+visit.  We model it as in-process dictionaries wrapped in an explicit I/O
+cost model, because what the experiments measure is not real disk latency
+but (a) *how often* queries must fall to disk (the memory hit ratio) and
+(b) the I/O volume a flushing policy generates.
+
+Cost model: every batch write pays one seek plus bytes/bandwidth; every
+index lookup pays one seek plus the postings read; every record fetch pays
+one seek plus the record read.  The accumulated simulated seconds and the
+operation counters are exposed through :class:`DiskStats`.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Optional
+
+from repro.model.microblog import Microblog
+from repro.storage.memory_model import MemoryModel
+from repro.storage.posting_list import Posting
+
+__all__ = ["DiskArchive", "DiskStats", "DiskCostModel"]
+
+
+@dataclass(frozen=True)
+class DiskCostModel:
+    """Latency/bandwidth constants of the simulated disk."""
+
+    seek_seconds: float = 5e-3
+    read_bandwidth_bytes_per_s: float = 150e6
+    write_bandwidth_bytes_per_s: float = 120e6
+
+    def write_cost(self, nbytes: int) -> float:
+        return self.seek_seconds + nbytes / self.write_bandwidth_bytes_per_s
+
+    def read_cost(self, nbytes: int) -> float:
+        return self.seek_seconds + nbytes / self.read_bandwidth_bytes_per_s
+
+
+@dataclass
+class DiskStats:
+    """Counters accumulated by the disk archive."""
+
+    flush_batches: int = 0
+    records_written: int = 0
+    postings_written: int = 0
+    bytes_written: int = 0
+    index_lookups: int = 0
+    record_fetches: int = 0
+    bytes_read: int = 0
+    simulated_io_seconds: float = 0.0
+
+    def snapshot(self) -> "DiskStats":
+        return DiskStats(**vars(self))
+
+
+class DiskArchive:
+    """Append-mostly disk tier with an attribute index over flushed data.
+
+    Postings may arrive before their record does: kFlushing trims a
+    microblog id from one entry while the record stays memory-resident
+    under another key.  The trimmed posting is written to the disk index
+    immediately so that a later disk lookup on that key is exact; the
+    record body follows once its reference count reaches zero.  The query
+    executor resolves a disk posting to the in-memory record when it is
+    still resident.
+    """
+
+    def __init__(
+        self,
+        model: MemoryModel,
+        cost_model: Optional[DiskCostModel] = None,
+    ) -> None:
+        self._model = model
+        self._cost = cost_model or DiskCostModel()
+        self._records: dict[int, Microblog] = {}
+        #: key -> postings ascending by sort key (best at the end), the
+        #: same layout as the in-memory posting lists.
+        self._index: dict[Hashable, list[Posting]] = {}
+        self.stats = DiskStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def record_count(self) -> int:
+        return len(self._records)
+
+    @property
+    def key_count(self) -> int:
+        return len(self._index)
+
+    def contains_record(self, blog_id: int) -> bool:
+        return blog_id in self._records
+
+    def posting_count(self, key: Hashable) -> int:
+        postings = self._index.get(key)
+        return 0 if postings is None else len(postings)
+
+    # ------------------------------------------------------------------
+    # Writes (called by the flush buffer on commit)
+    # ------------------------------------------------------------------
+
+    def commit_flush(
+        self,
+        records: Iterable[Microblog],
+        postings_by_key: dict[Hashable, list[Posting]],
+    ) -> int:
+        """Persist one flush batch; returns modelled bytes written."""
+        nbytes = 0
+        nrecords = 0
+        for record in records:
+            # Re-flushing the same record id is idempotent (can happen when
+            # a record's postings were flushed from several keys and the
+            # record itself follows later).
+            if record.blog_id not in self._records:
+                self._records[record.blog_id] = record
+                nbytes += self._model.record_bytes(record)
+                nrecords += 1
+        npostings = 0
+        for key, postings in postings_by_key.items():
+            if not postings:
+                continue
+            target = self._index.setdefault(key, [])
+            for posting in postings:
+                if not target or posting.sort_key >= target[-1].sort_key:
+                    target.append(posting)
+                else:
+                    insort(target, posting)
+            npostings += len(postings)
+            nbytes += self._model.postings_bytes(len(postings))
+        self.stats.flush_batches += 1
+        self.stats.records_written += nrecords
+        self.stats.postings_written += npostings
+        self.stats.bytes_written += nbytes
+        self.stats.simulated_io_seconds += self._cost.write_cost(nbytes)
+        return nbytes
+
+    # ------------------------------------------------------------------
+    # Reads (called by the query executor on a memory miss)
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: Hashable, limit: Optional[int] = None) -> list[Posting]:
+        """Return disk postings for ``key``, best rank first.
+
+        ``limit`` bounds the number returned (a real system reads the head
+        blocks of the posting file); the I/O cost charges the postings
+        actually read.
+        """
+        postings = self._index.get(key, [])
+        if limit is not None:
+            result = postings[-limit:][::-1]
+        else:
+            result = postings[::-1]
+        nbytes = self._model.postings_bytes(len(result))
+        self.stats.index_lookups += 1
+        self.stats.bytes_read += nbytes
+        self.stats.simulated_io_seconds += self._cost.read_cost(nbytes)
+        return result
+
+    def fetch_record(self, blog_id: int) -> Optional[Microblog]:
+        """Fetch a flushed record body, charging one read."""
+        record = self._records.get(blog_id)
+        if record is None:
+            return None
+        nbytes = self._model.record_bytes(record)
+        self.stats.record_fetches += 1
+        self.stats.bytes_read += nbytes
+        self.stats.simulated_io_seconds += self._cost.read_cost(nbytes)
+        return record
+
+    def peek_record(self, blog_id: int) -> Optional[Microblog]:
+        """Record access without I/O accounting (tests / ground truth)."""
+        return self._records.get(blog_id)

@@ -1,0 +1,198 @@
+"""Hash inverted index over one search attribute.
+
+The "keyword index" of the paper's Figure 3: a hash table mapping each key
+(keyword, user id, or spatial tile) to a :class:`PostingList`.  Beyond plain
+lookup/insert it maintains two things the kFlushing policy relies on:
+
+* the **overflow list L** (Section III-A): the set of keys whose entries
+  currently hold more than ``k`` postings, maintained incrementally at
+  insert time so Phase 1 never scans the full index;
+* incremental **byte accounting** through the shared
+  :class:`~repro.storage.memory_model.MemoryModel`, so the engine can
+  trigger flushing against a modelled memory budget.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, ItemsView, Iterator, Optional
+
+from repro.storage.memory_model import MemoryModel
+from repro.storage.posting_list import MIN_SORT_KEY, Posting, PostingList, SortKey
+
+__all__ = ["HashInvertedIndex"]
+
+
+class HashInvertedIndex:
+    """A byte-accounted hash inverted index with overflow tracking."""
+
+    def __init__(self, model: MemoryModel, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self._model = model
+        self._k = k
+        self._entries: dict[Hashable, PostingList] = {}
+        self._overflow: set[Hashable] = set()
+        self._bytes = 0
+        self._postings_total = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._entries)
+
+    def items(self) -> ItemsView[Hashable, PostingList]:
+        return self._entries.items()
+
+    def entries(self) -> Iterator[PostingList]:
+        return iter(self._entries.values())
+
+    def get(self, key: Hashable) -> Optional[PostingList]:
+        """Return the entry for ``key``, or None when absent."""
+        return self._entries.get(key)
+
+    @property
+    def k(self) -> int:
+        """The current top-k threshold used for overflow tracking."""
+        return self._k
+
+    @property
+    def bytes_used(self) -> int:
+        """Modelled bytes occupied by entries and postings."""
+        return self._bytes
+
+    @property
+    def overflow_keys(self) -> frozenset[Hashable]:
+        """Snapshot of the overflow list L (keys with more than k postings)."""
+        return frozenset(self._overflow)
+
+    def k_filled_count(self, k: Optional[int] = None) -> int:
+        """Number of keys whose entries hold at least ``k`` postings above
+        their completeness floor.
+
+        This is the paper's "k-filled keywords" metric (Figure 7): a query
+        on such a key is guaranteed to be a memory hit.
+        """
+        threshold = self._k if k is None else k
+        return sum(
+            1
+            for entry in self._entries.values()
+            if len(entry) >= threshold and entry.provable_top(threshold) is not None
+        )
+
+    def posting_count(self) -> int:
+        """Total postings across all entries (tracked incrementally)."""
+        return self._postings_total
+
+    def frequency_snapshot(self) -> dict[Hashable, int]:
+        """Map of key -> in-memory posting count (the Figure 1 snapshot)."""
+        return {key: len(entry) for key, entry in self._entries.items()}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def set_k(self, k: int) -> None:
+        """Change the top-k threshold (Section IV-C dynamic k).
+
+        The overflow list is rebuilt for the new threshold; per the paper,
+        the change takes effect at the next flushing cycle, which is
+        exactly when the overflow list is consumed.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if k == self._k:
+            return
+        self._k = k
+        self._overflow = {
+            key for key, entry in self._entries.items() if len(entry) > k
+        }
+
+    def insert(
+        self,
+        key: Hashable,
+        posting: Posting,
+        now: float,
+        created_floor: SortKey = MIN_SORT_KEY,
+    ) -> PostingList:
+        """Insert ``posting`` under ``key``, creating the entry if needed.
+
+        ``created_floor`` seeds the completeness floor of a *newly created*
+        entry; engines pass their global flush horizon so an entry that was
+        flushed wholesale and later re-created does not falsely claim
+        completeness for the flushed period.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = PostingList(key, created_at=now, floor=created_floor)
+            self._entries[key] = entry
+            self._bytes += self._model.entry_overhead
+        entry.insert(posting)
+        self._bytes += self._model.posting_bytes
+        self._postings_total += 1
+        if len(entry) > self._k:
+            self._overflow.add(key)
+        return entry
+
+    def touch_query(self, key: Hashable, now: float) -> None:
+        """Record a query access on ``key`` (Phase 3's order key)."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.touch_query(now)
+
+    def charge_removed_postings(self, count: int) -> int:
+        """Account for ``count`` postings removed directly from an entry.
+
+        Returns the bytes freed.  Callers that mutate a
+        :class:`PostingList` in place (trims, per-item removals) must call
+        this to keep the index byte counter truthful.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        freed = count * self._model.posting_bytes
+        self._bytes -= freed
+        self._postings_total -= count
+        return freed
+
+    def clear_overflow(self, key: Hashable) -> None:
+        """Drop ``key`` from the overflow list (after Phase 1 shrinks it)."""
+        self._overflow.discard(key)
+
+    def wipe_overflow(self) -> None:
+        """Wipe the overflow list L (the paper wipes it after Phase 1)."""
+        self._overflow.clear()
+
+    def remove_entry(self, key: Hashable) -> PostingList:
+        """Remove the whole entry for ``key`` and return it.
+
+        Frees the entry overhead and all of its posting bytes.  Used by
+        Phases 2 and 3, which flush entries wholesale.
+        """
+        entry = self._entries.pop(key)
+        self._bytes -= self._model.entry_bytes(len(entry))
+        self._postings_total -= len(entry)
+        self._overflow.discard(key)
+        return entry
+
+    def check_integrity(self) -> None:
+        """Assert internal invariants (used by tests and debug builds)."""
+        expected = sum(
+            self._model.entry_bytes(len(entry)) for entry in self._entries.values()
+        )
+        assert self._bytes == expected, f"byte accounting drift: {self._bytes} != {expected}"
+        actual_postings = sum(len(entry) for entry in self._entries.values())
+        assert self._postings_total == actual_postings, (
+            f"posting count drift: {self._postings_total} != {actual_postings}"
+        )
+        for key in self._overflow:
+            assert key in self._entries, f"overflow key {key!r} has no entry"
+            # Overflow may be stale-high after set_k shrinks k mid-cycle,
+            # but must never contain entries at or below k postings when k
+            # is unchanged; Phase 1 tolerates no-op trims either way.

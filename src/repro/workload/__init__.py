@@ -1,0 +1,33 @@
+"""Synthetic workloads: microblog streams and query loads."""
+
+from repro.workload.distributions import (
+    Hotspot,
+    HotspotGeoSampler,
+    ParetoSampler,
+    ZipfSampler,
+)
+from repro.workload.cooccurrence import CooccurrenceModel
+from repro.workload.queryload import PAPER_QUERY_RATE, QueryLoad, QueryLoadConfig
+from repro.workload.trace import load_queries, load_records, save_queries, save_records
+from repro.workload.stream import PAPER_ARRIVAL_RATE, MicroblogStream, StreamConfig
+from repro.workload.vocabulary import Vocabulary, generate_tags
+
+__all__ = [
+    "CooccurrenceModel",
+    "Hotspot",
+    "HotspotGeoSampler",
+    "MicroblogStream",
+    "PAPER_ARRIVAL_RATE",
+    "PAPER_QUERY_RATE",
+    "ParetoSampler",
+    "QueryLoad",
+    "QueryLoadConfig",
+    "StreamConfig",
+    "Vocabulary",
+    "ZipfSampler",
+    "generate_tags",
+    "load_queries",
+    "load_records",
+    "save_queries",
+    "save_records",
+]

@@ -1,0 +1,84 @@
+"""Keyword co-occurrence model.
+
+Real tweets carry correlated hashtags (#nba shows up with #finals, not
+with a random tail tag).  That correlation is what makes multi-keyword
+AND queries answerable at all — and what the kFlushing-MK extension
+(Section IV-D) exploits.  A stream with independently drawn tags would
+have near-empty intersections and no AND hits under *any* policy, so both
+the stream generator and the correlated query load share this model:
+
+each tag rank owns a small deterministic set of *companion* ranks, biased
+toward nearby ranks (hot tags pair with hot tags); with a configurable
+probability, a record's extra tags — and a correlated AND/OR query's
+second keyword — are drawn from the first tag's companions instead of
+independently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["CooccurrenceModel"]
+
+
+class CooccurrenceModel:
+    """Deterministic companion sets over a ranked vocabulary."""
+
+    def __init__(
+        self,
+        vocabulary_size: int,
+        companions_per_tag: int = 4,
+        seed: int = 11,
+    ) -> None:
+        if vocabulary_size < 2:
+            raise WorkloadError(
+                f"co-occurrence needs at least 2 tags, got {vocabulary_size}"
+            )
+        if companions_per_tag <= 0:
+            raise WorkloadError(
+                f"companions_per_tag must be positive, got {companions_per_tag}"
+            )
+        self.vocabulary_size = vocabulary_size
+        # A tag cannot have more distinct companions than other tags exist.
+        self.companions_per_tag = min(companions_per_tag, vocabulary_size - 1)
+        self.seed = seed
+        self._cache: dict[int, tuple[int, ...]] = {}
+
+    def companions(self, rank: int) -> tuple[int, ...]:
+        """The fixed companion ranks of ``rank`` (never contains rank)."""
+        if not 0 <= rank < self.vocabulary_size:
+            raise WorkloadError(f"rank {rank} out of range [0, {self.vocabulary_size})")
+        cached = self._cache.get(rank)
+        if cached is not None:
+            return cached
+        rng = np.random.default_rng(self.seed * 1_000_003 + rank)
+        n = self.vocabulary_size
+        chosen: list[int] = []
+        seen = {rank}
+        # Rank-proximal companions: offsets geometric around the tag, so a
+        # head tag's companions are also head tags.
+        while len(chosen) < self.companions_per_tag:
+            offset = int(rng.geometric(0.15))
+            if rng.random() < 0.5:
+                offset = -offset
+            companion = rank + offset
+            if companion < 0 or companion >= n:
+                companion = (rank + abs(offset)) % n
+            if companion in seen:
+                # Deterministic fallback keeps the loop bounded even for a
+                # tiny vocabulary: walk forward to the next unused rank.
+                companion = (max(seen) + 1) % n
+                while companion in seen:
+                    companion = (companion + 1) % n
+            seen.add(companion)
+            chosen.append(companion)
+        result = tuple(chosen)
+        self._cache[rank] = result
+        return result
+
+    def sample_companion(self, rank: int, rng: np.random.Generator) -> int:
+        """Draw one companion of ``rank``."""
+        options = self.companions(rank)
+        return options[int(rng.integers(0, len(options)))]

@@ -1,0 +1,159 @@
+"""Random samplers for the synthetic workloads.
+
+The paper's behaviour rests on one empirical fact: "the frequency
+distribution of keywords in microblogs is very skewed" (Section III-A) —
+few keys far above k, a long tail below it.  The samplers here produce
+exactly that shape, deterministically from a seed:
+
+* :class:`ZipfSampler` — ranked Zipf over a finite vocabulary (keywords,
+  user activity);
+* :class:`ParetoSampler` — heavy-tailed positive integers (follower
+  counts);
+* :class:`HotspotGeoSampler` — a mixture of Gaussian city "hotspots" over
+  a bounding box plus a uniform background (tweet locations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["ZipfSampler", "ParetoSampler", "HotspotGeoSampler", "Hotspot"]
+
+
+class ZipfSampler:
+    """Samples ranks ``0..n-1`` with P(rank r) ∝ 1 / (r+1)^s.
+
+    Uses an explicit cumulative table and inverse-CDF sampling so the
+    distribution is exact for finite ``n`` (numpy's ``zipf`` is unbounded).
+    """
+
+    def __init__(self, n: int, exponent: float, rng: np.random.Generator) -> None:
+        if n <= 0:
+            raise WorkloadError(f"vocabulary size must be positive, got {n}")
+        if exponent < 0:
+            raise WorkloadError(f"zipf exponent must be non-negative, got {exponent}")
+        self.n = n
+        self.exponent = exponent
+        self._rng = rng
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), exponent)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def probability(self, rank: int) -> float:
+        """Exact probability of ``rank`` under this distribution."""
+        if not 0 <= rank < self.n:
+            raise WorkloadError(f"rank {rank} out of range [0, {self.n})")
+        prev = self._cdf[rank - 1] if rank > 0 else 0.0
+        return float(self._cdf[rank] - prev)
+
+    def sample(self) -> int:
+        """Draw one rank."""
+        return int(np.searchsorted(self._cdf, self._rng.random(), side="left"))
+
+    def sample_many(self, count: int) -> np.ndarray:
+        """Draw ``count`` ranks as an int array."""
+        if count < 0:
+            raise WorkloadError(f"count must be non-negative, got {count}")
+        u = self._rng.random(count)
+        return np.searchsorted(self._cdf, u, side="left").astype(np.int64)
+
+
+class ParetoSampler:
+    """Heavy-tailed positive integers: ``floor(minimum * pareto)``.
+
+    Models follower counts: most users have few followers, a small set has
+    millions, which is what the popularity ranking function needs to
+    discriminate on.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        shape: float = 1.2,
+        minimum: int = 10,
+        cap: int = 50_000_000,
+    ) -> None:
+        if shape <= 0:
+            raise WorkloadError(f"pareto shape must be positive, got {shape}")
+        if minimum <= 0:
+            raise WorkloadError(f"pareto minimum must be positive, got {minimum}")
+        self._rng = rng
+        self.shape = shape
+        self.minimum = minimum
+        self.cap = cap
+
+    def sample(self) -> int:
+        value = int(self.minimum * (1.0 + self._rng.pareto(self.shape)))
+        return min(value, self.cap)
+
+    def sample_many(self, count: int) -> np.ndarray:
+        values = (self.minimum * (1.0 + self._rng.pareto(self.shape, count))).astype(
+            np.int64
+        )
+        return np.minimum(values, self.cap)
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One Gaussian population centre."""
+
+    latitude: float
+    longitude: float
+    std_degrees: float
+    weight: float
+
+
+class HotspotGeoSampler:
+    """Tweet locations: Gaussian hotspots plus a uniform background.
+
+    The default bounding box and hotspots roughly cover the continental
+    US; the experiments only need *skewed tiles*, not real geography.
+    """
+
+    DEFAULT_HOTSPOTS = (
+        Hotspot(40.71, -74.00, 0.25, 0.30),  # New York
+        Hotspot(34.05, -118.24, 0.25, 0.22),  # Los Angeles
+        Hotspot(41.88, -87.63, 0.20, 0.15),  # Chicago
+        Hotspot(29.76, -95.37, 0.20, 0.10),  # Houston
+        Hotspot(47.61, -122.33, 0.15, 0.08),  # Seattle
+    )
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        hotspots: tuple[Hotspot, ...] = DEFAULT_HOTSPOTS,
+        bbox: tuple[float, float, float, float] = (24.0, -125.0, 49.0, -66.0),
+        background_weight: float = 0.15,
+    ) -> None:
+        if not hotspots:
+            raise WorkloadError("need at least one hotspot")
+        if not 0.0 <= background_weight < 1.0:
+            raise WorkloadError(
+                f"background_weight must be in [0, 1), got {background_weight}"
+            )
+        min_lat, min_lon, max_lat, max_lon = bbox
+        if min_lat >= max_lat or min_lon >= max_lon:
+            raise WorkloadError(f"degenerate bounding box: {bbox}")
+        self._rng = rng
+        self.hotspots = hotspots
+        self.bbox = bbox
+        self.background_weight = background_weight
+        weights = np.array([h.weight for h in hotspots], dtype=np.float64)
+        self._hotspot_probs = weights / weights.sum()
+
+    def sample(self) -> tuple[float, float]:
+        """Draw one ``(latitude, longitude)`` inside the bounding box."""
+        min_lat, min_lon, max_lat, max_lon = self.bbox
+        if self._rng.random() < self.background_weight:
+            lat = self._rng.uniform(min_lat, max_lat)
+            lon = self._rng.uniform(min_lon, max_lon)
+            return (lat, lon)
+        idx = int(self._rng.choice(len(self.hotspots), p=self._hotspot_probs))
+        spot = self.hotspots[idx]
+        lat = float(np.clip(self._rng.normal(spot.latitude, spot.std_degrees), min_lat, max_lat))
+        lon = float(np.clip(self._rng.normal(spot.longitude, spot.std_degrees), min_lon, max_lon))
+        return (lat, lon)

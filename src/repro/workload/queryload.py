@@ -1,0 +1,178 @@
+"""Query workloads: the paper's correlated and uniform loads (Section V).
+
+* **Correlated**: keys are drawn with probability proportional to their
+  occurrence in the data ("keyword queries are selected at random from all
+  keywords associated with our tweets without removing duplicates") —
+  active topics get queried more, the realistic case.
+* **Uniform**: keys are drawn uniformly from the whole key space
+  regardless of frequency — the worst-case load major systems use to
+  guarantee tail quality of service.
+
+Each keyword workload is a 1/3 : 1/3 : 1/3 mix of single-keyword,
+2-keyword AND, and 2-keyword OR queries, exactly as in the paper.  User
+and spatial workloads are single-key only (user timelines are single-key
+in practice; spatial AND is semantically invalid — Section V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.engine.queries import CombineMode, TopKQuery
+from repro.errors import WorkloadError
+from repro.model.attributes import SpatialGridAttribute
+from repro.workload.distributions import HotspotGeoSampler, ZipfSampler
+from repro.workload.stream import MicroblogStream
+
+__all__ = ["QueryLoadConfig", "QueryLoad", "PAPER_QUERY_RATE"]
+
+#: Queries per second the paper replays its workloads at.
+PAPER_QUERY_RATE = 25_000.0
+
+_MODES = ("correlated", "uniform")
+_ATTRIBUTES = ("keyword", "user", "spatial")
+
+
+@dataclass(frozen=True)
+class QueryLoadConfig:
+    """Knobs of one query workload."""
+
+    seed: int = 1234
+    mode: str = "correlated"
+    attribute: str = "keyword"
+    k: int = 20
+    #: Fractions of single / AND / OR queries.  Ignored (forced to
+    #: single-only) for user and spatial attributes.
+    mix: tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3)
+    tile_side_degrees: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise WorkloadError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if self.attribute not in _ATTRIBUTES:
+            raise WorkloadError(
+                f"attribute must be one of {_ATTRIBUTES}, got {self.attribute!r}"
+            )
+        if self.k <= 0:
+            raise WorkloadError(f"k must be positive, got {self.k}")
+        if abs(sum(self.mix) - 1.0) > 1e-9 or any(f < 0 for f in self.mix):
+            raise WorkloadError(f"mix must be a probability vector, got {self.mix!r}")
+
+
+class QueryLoad:
+    """Deterministic query generator matched to a data stream's shape."""
+
+    def __init__(self, config: QueryLoadConfig, stream: MicroblogStream) -> None:
+        self.config = config
+        self._stream = stream
+        self._rng = np.random.default_rng(config.seed)
+        stream_cfg = stream.config
+        if config.mode == "correlated":
+            # The same Zipf shapes the data uses, with an independent rng:
+            # a key's query probability equals its occurrence probability.
+            self._keyword_sampler = ZipfSampler(
+                stream_cfg.vocabulary_size, stream_cfg.keyword_zipf_exponent, self._rng
+            )
+            self._user_sampler = ZipfSampler(
+                stream_cfg.user_count, stream_cfg.user_zipf_exponent, self._rng
+            )
+        else:
+            self._keyword_sampler = None
+            self._user_sampler = None
+        if config.attribute == "spatial":
+            self._grid = SpatialGridAttribute(config.tile_side_degrees)
+            self._geo = HotspotGeoSampler(np.random.default_rng(config.seed + 1))
+            self._tile_universe: tuple = ()
+        else:
+            self._grid = None
+            self._geo = None
+
+    # ------------------------------------------------------------------
+    # Key sampling
+    # ------------------------------------------------------------------
+
+    def _sample_keyword(self) -> str:
+        if self._keyword_sampler is not None:
+            rank = self._keyword_sampler.sample()
+        else:
+            rank = int(self._rng.integers(0, len(self._stream.vocabulary)))
+        return self._stream.vocabulary.tag(rank)
+
+    def _sample_keyword_pair(self) -> tuple[str, str]:
+        """Two distinct keywords for an AND/OR query.
+
+        Correlated loads pair a keyword with one of its companions (with
+        the stream's co-occurrence probability) the way users query tags
+        that actually appear together; uniform loads pair independent
+        uniform draws — the worst case.
+        """
+        vocab = self._stream.vocabulary
+        first = self._sample_keyword()
+        if (
+            self.config.mode == "correlated"
+            and self._rng.random() < self._stream.config.cooccurrence_prob
+        ):
+            companion = self._stream.cooccurrence.sample_companion(
+                vocab.rank(first), self._rng
+            )
+            return (first, vocab.tag(companion))
+        for _ in range(64):
+            second = self._sample_keyword()
+            if second != first:
+                return (first, second)
+        raise WorkloadError("could not sample two distinct keywords")
+
+    def _sample_user(self) -> int:
+        if self._user_sampler is not None:
+            return self._user_sampler.sample()
+        return int(self._rng.integers(0, self._stream.config.user_count))
+
+    def _sample_tile(self) -> tuple[int, int]:
+        assert self._grid is not None and self._geo is not None
+        if self.config.mode == "correlated":
+            lat, lon = self._geo.sample()
+            return self._grid.tile_of(lat, lon)
+        # Uniform spatial load: each *plausible* tile equally likely —
+        # the spatial analogue of "uniform over the whole keyword pool".
+        # The universe is the set of tiles the population model can emit,
+        # estimated once from an independent draw of the geo sampler.
+        if not self._tile_universe:
+            seen = {
+                self._grid.tile_of(*self._geo.sample()) for _ in range(4_000)
+            }
+            self._tile_universe = tuple(sorted(seen))
+        idx = int(self._rng.integers(0, len(self._tile_universe)))
+        return self._tile_universe[idx]
+
+    # ------------------------------------------------------------------
+    # Query generation
+    # ------------------------------------------------------------------
+
+    def next_query(self) -> TopKQuery:
+        """Generate one query."""
+        cfg = self.config
+        if cfg.attribute == "user":
+            return TopKQuery(keys=(self._sample_user(),), k=cfg.k)
+        if cfg.attribute == "spatial":
+            return TopKQuery(keys=(self._sample_tile(),), k=cfg.k)
+        draw = self._rng.random()
+        if draw < cfg.mix[0]:
+            return TopKQuery(keys=(self._sample_keyword(),), k=cfg.k)
+        if draw < cfg.mix[0] + cfg.mix[1]:
+            return TopKQuery(
+                keys=self._sample_keyword_pair(), k=cfg.k, mode=CombineMode.AND
+            )
+        return TopKQuery(keys=self._sample_keyword_pair(), k=cfg.k, mode=CombineMode.OR)
+
+    def take(self, count: int) -> list[TopKQuery]:
+        """Generate the next ``count`` queries."""
+        if count < 0:
+            raise WorkloadError(f"count must be non-negative, got {count}")
+        return [self.next_query() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[TopKQuery]:
+        while True:
+            yield self.next_query()

@@ -1,0 +1,129 @@
+"""Trace persistence: record streams and query loads as JSON-lines files.
+
+The paper replays a year of collected tweets; users of this library may
+have their own traces.  This module gives both directions:
+
+* :func:`save_records` / :func:`load_records` — microblog streams;
+* :func:`save_queries` / :func:`load_queries` — query workloads;
+
+in a line-oriented JSON format that is diff-able, greppable, and
+streamable (records are written and read one line at a time, never
+materialising the whole trace).  Synthetic traces saved once are
+byte-stable across runs, making benchmark inputs shareable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.engine.queries import CombineMode, TopKQuery
+from repro.errors import QueryError, WorkloadError
+from repro.model.microblog import GeoPoint, Microblog
+
+__all__ = ["save_records", "load_records", "save_queries", "load_queries"]
+
+PathLike = Union[str, Path]
+
+
+def _record_to_dict(record: Microblog) -> dict:
+    data = {
+        "id": record.blog_id,
+        "ts": record.timestamp,
+        "user": record.user_id,
+        "text": record.text,
+        "tags": list(record.keywords),
+        "followers": record.followers,
+    }
+    if record.location is not None:
+        data["lat"] = record.location.latitude
+        data["lon"] = record.location.longitude
+    return data
+
+
+def _record_from_dict(data: dict) -> Microblog:
+    location = None
+    if "lat" in data and "lon" in data:
+        location = GeoPoint(data["lat"], data["lon"])
+    return Microblog(
+        blog_id=data["id"],
+        timestamp=data["ts"],
+        user_id=data["user"],
+        text=data.get("text", ""),
+        keywords=tuple(data.get("tags", ())),
+        location=location,
+        followers=data.get("followers", 0),
+    )
+
+
+def save_records(records: Iterable[Microblog], path: PathLike) -> int:
+    """Write records to ``path`` as JSON lines; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(_record_to_dict(record)) + "\n")
+            count += 1
+    return count
+
+
+def load_records(path: PathLike) -> Iterator[Microblog]:
+    """Stream records back from a JSON-lines trace file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield _record_from_dict(json.loads(line))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise WorkloadError(
+                    f"{path}:{line_no}: malformed record line ({exc})"
+                ) from exc
+
+
+def _query_to_dict(query: TopKQuery) -> dict:
+    keys: list = []
+    for key in query.keys:
+        # Tile keys are tuples; JSON round-trips them as lists, which the
+        # loader converts back.
+        keys.append(list(key) if isinstance(key, tuple) else key)
+    return {"keys": keys, "k": query.k, "mode": query.mode.value}
+
+
+def _query_from_dict(data: dict) -> TopKQuery:
+    keys = tuple(
+        tuple(key) if isinstance(key, list) else key for key in data["keys"]
+    )
+    return TopKQuery(keys=keys, k=data["k"], mode=CombineMode(data["mode"]))
+
+
+def save_queries(queries: Iterable[TopKQuery], path: PathLike) -> int:
+    """Write a query workload to ``path`` as JSON lines."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for query in queries:
+            handle.write(json.dumps(_query_to_dict(query)) + "\n")
+            count += 1
+    return count
+
+
+def load_queries(path: PathLike) -> Iterator[TopKQuery]:
+    """Stream a query workload back from a JSON-lines file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield _query_from_dict(json.loads(line))
+            except (
+                json.JSONDecodeError,
+                KeyError,
+                TypeError,
+                ValueError,
+                QueryError,
+            ) as exc:
+                raise WorkloadError(
+                    f"{path}:{line_no}: malformed query line ({exc})"
+                ) from exc

@@ -1,0 +1,88 @@
+"""Synthetic hashtag vocabulary.
+
+Generates a deterministic, human-readable vocabulary of pseudo-hashtags
+("nabari", "koltec", ...) used by the stream generator.  Rank 0 is the
+most frequent tag (the "obama" of the paper's running example); the tail
+ranks are the rare tags whose entries never accumulate k postings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from repro.errors import WorkloadError
+
+__all__ = ["Vocabulary", "generate_tags"]
+
+_ONSETS = (
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m",
+    "n", "p", "r", "s", "t", "v", "w", "z", "br", "ch",
+    "cl", "dr", "fl", "gr", "kr", "pl", "sh", "st", "th", "tr",
+)
+_VOWELS = ("a", "e", "i", "o", "u", "ai", "ea", "io", "ou")
+_CODAS = ("", "", "n", "r", "s", "t", "l", "m", "k", "x")
+
+
+def _one_tag(rng: random.Random) -> str:
+    syllables = rng.randint(2, 3)
+    parts = []
+    for _ in range(syllables):
+        parts.append(rng.choice(_ONSETS))
+        parts.append(rng.choice(_VOWELS))
+    parts.append(rng.choice(_CODAS))
+    return "".join(parts)
+
+
+def generate_tags(count: int, seed: int = 7) -> list[str]:
+    """Generate ``count`` distinct pronounceable tags, deterministically."""
+    if count <= 0:
+        raise WorkloadError(f"count must be positive, got {count}")
+    rng = random.Random(seed)
+    seen: set[str] = set()
+    tags: list[str] = []
+    while len(tags) < count:
+        tag = _one_tag(rng)
+        if tag in seen:
+            # Disambiguate collisions with a numeric suffix so generation
+            # always terminates, even for very large vocabularies.
+            tag = f"{tag}{len(tags)}"
+        seen.add(tag)
+        tags.append(tag)
+    return tags
+
+
+class Vocabulary:
+    """An ordered tag vocabulary: index == frequency rank (0 = hottest)."""
+
+    def __init__(self, tags: Sequence[str]) -> None:
+        if not tags:
+            raise WorkloadError("vocabulary cannot be empty")
+        if len(set(tags)) != len(tags):
+            raise WorkloadError("vocabulary tags must be distinct")
+        self._tags = tuple(tags)
+        self._rank = {tag: rank for rank, tag in enumerate(self._tags)}
+
+    @classmethod
+    def synthetic(cls, size: int, seed: int = 7) -> "Vocabulary":
+        return cls(generate_tags(size, seed=seed))
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tags)
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._rank
+
+    def tag(self, rank: int) -> str:
+        """The tag at frequency ``rank`` (0 is the most frequent)."""
+        return self._tags[rank]
+
+    def rank(self, tag: str) -> int:
+        """The frequency rank of ``tag``."""
+        try:
+            return self._rank[tag]
+        except KeyError:
+            raise WorkloadError(f"tag {tag!r} not in vocabulary") from None

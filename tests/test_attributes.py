@@ -1,0 +1,96 @@
+"""Unit tests for attribute extractors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.attributes import (
+    KeywordAttribute,
+    SpatialGridAttribute,
+    UserAttribute,
+    attribute_from_name,
+)
+from repro.model.microblog import GeoPoint
+from tests.conftest import make_blog
+
+
+class TestKeywordAttribute:
+    def test_keys_are_keywords(self):
+        blog = make_blog(keywords=("nba", "finals"))
+        assert KeywordAttribute().keys(blog) == ("nba", "finals")
+
+    def test_no_keywords_means_no_keys(self):
+        blog = make_blog(keywords=())
+        assert KeywordAttribute().keys(blog) == ()
+
+    def test_is_multi_key(self):
+        assert KeywordAttribute().multi_key is True
+
+
+class TestUserAttribute:
+    def test_single_key_is_user_id(self):
+        blog = make_blog(user_id=99)
+        assert UserAttribute().keys(blog) == (99,)
+
+    def test_not_multi_key(self):
+        assert UserAttribute().multi_key is False
+
+
+class TestSpatialGridAttribute:
+    def test_no_location_means_no_keys(self):
+        blog = make_blog()
+        assert SpatialGridAttribute().keys(blog) == ()
+
+    def test_key_is_tile(self):
+        attr = SpatialGridAttribute(tile_side_degrees=1.0)
+        blog = make_blog(location=GeoPoint(40.5, -74.5))
+        assert attr.keys(blog) == ((-75, 40),)
+
+    def test_tile_of_origin(self):
+        attr = SpatialGridAttribute(tile_side_degrees=1.0)
+        assert attr.tile_of(0.0, 0.0) == (0, 0)
+        assert attr.tile_of(-0.5, -0.5) == (-1, -1)
+
+    def test_tile_boundaries_belong_to_upper_tile(self):
+        attr = SpatialGridAttribute(tile_side_degrees=0.5)
+        assert attr.tile_of(0.5, 0.5) == (1, 1)
+        assert attr.tile_of(0.4999, 0.4999) == (0, 0)
+
+    def test_nearby_points_share_a_tile(self):
+        attr = SpatialGridAttribute(tile_side_degrees=0.03)
+        a = attr.tile_of(40.7128, -74.0060)
+        b = attr.tile_of(40.7130, -74.0062)
+        assert a == b
+
+    def test_distant_points_differ(self):
+        attr = SpatialGridAttribute(tile_side_degrees=0.03)
+        assert attr.tile_of(40.71, -74.0) != attr.tile_of(34.05, -118.24)
+
+    def test_tile_bounds_roundtrip(self):
+        attr = SpatialGridAttribute(tile_side_degrees=0.25)
+        tile = attr.tile_of(10.1, 20.2)
+        min_lon, min_lat, max_lon, max_lat = attr.tile_bounds(tile)
+        assert min_lat <= 10.1 < max_lat
+        assert min_lon <= 20.2 < max_lon
+        assert max_lat - min_lat == pytest.approx(0.25)
+
+    def test_invalid_tile_side_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpatialGridAttribute(tile_side_degrees=0.0)
+
+    def test_not_multi_key(self):
+        assert SpatialGridAttribute().multi_key is False
+
+
+class TestAttributeFromName:
+    def test_builtins(self):
+        assert isinstance(attribute_from_name("keyword"), KeywordAttribute)
+        assert isinstance(attribute_from_name("user"), UserAttribute)
+        assert isinstance(attribute_from_name("spatial"), SpatialGridAttribute)
+
+    def test_spatial_kwargs_forwarded(self):
+        attr = attribute_from_name("spatial", tile_side_degrees=2.0)
+        assert attr.tile_side_degrees == 2.0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="keyword"):
+            attribute_from_name("nope")

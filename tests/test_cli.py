@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.figure == "all"
+        assert args.scale == "small"
+        assert args.seed == 42
+
+    def test_run_with_options(self):
+        args = build_parser().parse_args(
+            ["run", "--figure", "fig5", "--scale", "tiny", "--seed", "7"]
+        )
+        assert args.figure == "fig5"
+        assert args.scale == "tiny"
+        assert args.seed == 7
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--figure", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "tiny" in out
+
+    def test_demo_command(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "fifo" in out
+        assert "kflushing" in out

@@ -1,0 +1,120 @@
+"""Unit tests for the simulated disk archive and its I/O accounting."""
+
+import pytest
+
+from repro.storage.disk import DiskArchive, DiskCostModel
+from repro.storage.memory_model import MemoryModel
+from repro.storage.posting_list import Posting
+from tests.conftest import make_blog
+
+
+def posting(i):
+    return Posting(float(i), float(i), i)
+
+
+@pytest.fixture
+def model():
+    return MemoryModel()
+
+
+@pytest.fixture
+def disk(model):
+    return DiskArchive(model)
+
+
+class TestCommitFlush:
+    def test_records_and_postings_persist(self, disk):
+        blogs = [make_blog(keywords=("a",)) for _ in range(3)]
+        disk.commit_flush(blogs, {"a": [posting(b.blog_id) for b in blogs]})
+        assert disk.record_count == 3
+        assert disk.posting_count("a") == 3
+        assert disk.contains_record(blogs[0].blog_id)
+
+    def test_returns_bytes_written(self, disk, model):
+        blog = make_blog(keywords=("a",))
+        written = disk.commit_flush([blog], {"a": [posting(blog.blog_id)]})
+        assert written == model.record_bytes(blog) + model.postings_bytes(1)
+
+    def test_duplicate_record_commit_idempotent(self, disk):
+        blog = make_blog(keywords=("a",))
+        disk.commit_flush([blog], {})
+        disk.commit_flush([blog], {})
+        assert disk.record_count == 1
+
+    def test_postings_kept_sorted(self, disk):
+        disk.commit_flush([], {"a": [posting(5), posting(1)]})
+        disk.commit_flush([], {"a": [posting(3)]})
+        result = disk.lookup("a")
+        assert [p.blog_id for p in result] == [5, 3, 1]
+
+    def test_stats_counters(self, disk):
+        blog = make_blog(keywords=("a",))
+        disk.commit_flush([blog], {"a": [posting(blog.blog_id)]})
+        assert disk.stats.flush_batches == 1
+        assert disk.stats.records_written == 1
+        assert disk.stats.postings_written == 1
+        assert disk.stats.bytes_written > 0
+        assert disk.stats.simulated_io_seconds > 0
+
+
+class TestLookup:
+    def test_best_first(self, disk):
+        disk.commit_flush([], {"a": [posting(i) for i in range(1, 6)]})
+        assert [p.blog_id for p in disk.lookup("a")] == [5, 4, 3, 2, 1]
+
+    def test_limit(self, disk):
+        disk.commit_flush([], {"a": [posting(i) for i in range(1, 6)]})
+        assert [p.blog_id for p in disk.lookup("a", limit=2)] == [5, 4]
+
+    def test_missing_key_empty(self, disk):
+        assert disk.lookup("ghost") == []
+        assert disk.stats.index_lookups == 1
+
+    def test_lookup_charges_io(self, disk):
+        disk.commit_flush([], {"a": [posting(1)]})
+        before = disk.stats.simulated_io_seconds
+        disk.lookup("a")
+        assert disk.stats.simulated_io_seconds > before
+        assert disk.stats.bytes_read > 0
+
+
+class TestFetchRecord:
+    def test_fetch_returns_record_and_charges(self, disk):
+        blog = make_blog(keywords=("a",))
+        disk.commit_flush([blog], {})
+        fetched = disk.fetch_record(blog.blog_id)
+        assert fetched is blog
+        assert disk.stats.record_fetches == 1
+
+    def test_fetch_missing_returns_none(self, disk):
+        assert disk.fetch_record(404) is None
+        assert disk.stats.record_fetches == 0
+
+    def test_peek_does_not_charge(self, disk):
+        blog = make_blog(keywords=("a",))
+        disk.commit_flush([blog], {})
+        before = disk.stats.bytes_read
+        assert disk.peek_record(blog.blog_id) is blog
+        assert disk.stats.bytes_read == before
+
+
+class TestCostModel:
+    def test_write_cost_monotone_in_bytes(self):
+        cost = DiskCostModel()
+        assert cost.write_cost(1_000_000) > cost.write_cost(10)
+        assert cost.write_cost(0) == pytest.approx(cost.seek_seconds)
+
+    def test_read_cost_includes_seek(self):
+        cost = DiskCostModel(seek_seconds=0.01)
+        assert cost.read_cost(0) == pytest.approx(0.01)
+
+    def test_custom_cost_model_applied(self, model):
+        slow = DiskArchive(model, DiskCostModel(seek_seconds=1.0))
+        fast = DiskArchive(model, DiskCostModel(seek_seconds=1e-6))
+        slow.lookup("x")
+        fast.lookup("x")
+        assert slow.stats.simulated_io_seconds > fast.stats.simulated_io_seconds
+
+    def test_key_count(self, disk):
+        disk.commit_flush([], {"a": [posting(1)], "b": [posting(2)]})
+        assert disk.key_count == 2

@@ -1,0 +1,59 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    DuplicateRecordError,
+    FlushError,
+    QueryError,
+    ReproError,
+    UnknownKeyError,
+    UnknownRecordError,
+    WorkloadError,
+)
+
+ALL_ERRORS = (
+    CapacityError,
+    ConfigurationError,
+    DuplicateRecordError,
+    FlushError,
+    QueryError,
+    UnknownKeyError,
+    UnknownRecordError,
+    WorkloadError,
+)
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_all_derive_from_repro_error(error_type):
+    assert issubclass(error_type, ReproError)
+
+
+def test_lookup_errors_are_key_errors():
+    # Callers used to dict-style access can catch KeyError too.
+    assert issubclass(UnknownRecordError, KeyError)
+    assert issubclass(UnknownKeyError, KeyError)
+
+
+def test_catching_base_catches_all():
+    for error_type in ALL_ERRORS:
+        with pytest.raises(ReproError):
+            raise error_type("boom")
+
+
+def test_public_api_raises_library_types_only():
+    """API-boundary spot checks: bad input surfaces as ReproError."""
+    from repro import MicroblogSystem, SystemConfig, parse_query
+    from repro.workload import QueryLoadConfig
+
+    with pytest.raises(ReproError):
+        SystemConfig(policy="nope")
+    with pytest.raises(ReproError):
+        parse_query("")
+    with pytest.raises(ReproError):
+        QueryLoadConfig(mode="nope")
+    system = MicroblogSystem(SystemConfig(memory_capacity_bytes=10_000))
+    with pytest.raises(ReproError):
+        system.engine.raw.get(123)

@@ -1,0 +1,190 @@
+"""Tests for the experiment harness: presets, runner, figures, reporting."""
+
+import pytest
+
+from repro.experiments.figures import (
+    FigureResult,
+    SweepResult,
+    TableResult,
+    fig1_snapshot,
+    fig5_timeline,
+)
+from repro.experiments.report import format_figure, format_panel
+from repro.experiments.runner import TrialSpec, run_digestion_stress, run_trial
+from repro.experiments.scale import (
+    PRESETS,
+    ScalePreset,
+    TINY,
+    preset_from_env,
+)
+
+#: A micro preset so harness tests finish in well under a second each.
+MICRO = ScalePreset(
+    name="micro",
+    bytes_per_gb=8_000,
+    vocabulary_size=400,
+    user_count=400,
+    warm_flushes=2,
+    max_warm_records=30_000,
+    eval_records=800,
+    queries_per_record=1.0,
+    and_scan_depth=100,
+    and_disk_limit=100,
+)
+
+
+class TestScalePresets:
+    def test_registry(self):
+        assert set(PRESETS) == {"tiny", "small", "full"}
+
+    def test_capacity_scaling(self):
+        assert TINY.capacity_bytes(30.0) == 30 * TINY.bytes_per_gb
+        assert TINY.capacity_bytes(0.0) == 1  # clamped
+
+    def test_preset_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert preset_from_env().name == "tiny"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            preset_from_env()
+        monkeypatch.delenv("REPRO_SCALE")
+        assert preset_from_env("full").name == "full"
+
+    def test_regime_holds_for_all_presets(self):
+        """Memory must hold far fewer postings than vocab*k for the
+        paper's phenomena to exist at any preset."""
+        for preset in PRESETS.values():
+            capacity_records = preset.capacity_bytes(30.0) / 150
+            assert capacity_records < preset.vocabulary_size * 20
+
+
+class TestRunTrial:
+    @pytest.mark.parametrize("policy", ["fifo", "kflushing", "kflushing-mk", "lru"])
+    def test_steady_state_trial(self, policy):
+        result = run_trial(TrialSpec(policy=policy, scale=MICRO, seed=3))
+        assert result.flush_count > 0
+        assert result.queries_run > 0
+        assert 0.0 <= result.hit_ratio <= 1.0
+        assert result.k_filled >= 0
+        assert result.insert_rate > 0
+        assert result.effective_digestion_rate > 0
+
+    def test_hit_ratio_by_mode_keys(self):
+        result = run_trial(TrialSpec(policy="kflushing", scale=MICRO, seed=3))
+        assert set(result.hit_ratio_by_mode) == {"single", "and", "or"}
+
+    def test_user_attribute_trial(self):
+        result = run_trial(
+            TrialSpec(policy="kflushing", attribute="user", scale=MICRO, seed=3)
+        )
+        assert result.queries_run > 0
+
+    def test_spatial_attribute_trial(self):
+        result = run_trial(
+            TrialSpec(policy="fifo", attribute="spatial", scale=MICRO, seed=3)
+        )
+        assert result.queries_run > 0
+
+    def test_kflushing_beats_fifo_on_k_filled(self):
+        fifo = run_trial(TrialSpec(policy="fifo", scale=MICRO, seed=3))
+        kf = run_trial(TrialSpec(policy="kflushing", scale=MICRO, seed=3))
+        assert kf.k_filled > fifo.k_filled
+
+    def test_digestion_stress(self):
+        result = run_digestion_stress(
+            TrialSpec(policy="fifo", scale=MICRO, seed=3),
+            query_rate_per_wall_second=1000.0,
+        )
+        assert result.effective_digestion_rate > 0
+        assert "queries_issued" in result.extras
+
+
+class TestFigureHarness:
+    def test_fig1_snapshot_structure(self):
+        figure = fig1_snapshot(MICRO, seed=3)
+        assert isinstance(figure, FigureResult)
+        panel = figure.panels[0]
+        assert isinstance(panel, TableResult)
+        assert len(panel.rows) == 2
+        fifo_row = next(r for r in panel.rows if r[0] == "fifo")
+        kf_row = next(r for r in panel.rows if r[0] == "kflushing")
+        # The paper's headline claim: temporal flushing wastes most of the
+        # memory on useless postings; kFlushing does not.
+        assert fifo_row[3] > kf_row[3]
+
+    def test_fig5_saturation_shape(self):
+        figure = fig5_timeline(MICRO, seed=3)
+        panel = figure.panels[0]
+        assert isinstance(panel, SweepResult)
+        phase1 = panel.series["phase1-only"]
+        full = panel.series["phases-1+2+3"]
+        # Phase-1-only decays to (near) zero; the full policy keeps
+        # freeing the budget.
+        assert phase1[-1] < phase1[0] / 4
+        assert full[-1] > phase1[-1]
+
+
+class TestExtensions:
+    def test_registered_in_figure_registry(self):
+        from repro.experiments import ALL_FIGURES
+
+        assert "ext1" in ALL_FIGURES
+        assert "ext2" in ALL_FIGURES
+
+    def test_and_semantics_strict_never_above_operational(self):
+        from repro.experiments.extensions import ext_and_semantics
+
+        figure = ext_and_semantics(MICRO, seed=3)
+        panel = figure.panels[0]
+        for policy in ("kflushing", "kflushing-mk"):
+            operational, strict = panel.series[policy]
+            assert strict <= operational + 1e-9
+
+    def test_skew_sensitivity_structure(self):
+        from repro.experiments.extensions import ext_skew_sensitivity, ZIPF_SWEEP
+
+        # Two zipf points keep this a fast structural test.
+        import repro.experiments.extensions as ext
+
+        original = ext.ZIPF_SWEEP
+        ext.ZIPF_SWEEP = (0.0, 1.0)
+        try:
+            figure = ext_skew_sensitivity(MICRO, seed=3)
+        finally:
+            ext.ZIPF_SWEEP = original
+        panel = figure.panels[0]
+        assert "kflushing-gain-pts" in panel.series
+        assert len(panel.series["fifo"]) == 2
+
+
+class TestReportFormatting:
+    def test_format_sweep_panel(self):
+        panel = SweepResult(
+            panel_id="figX",
+            title="demo",
+            x_label="k",
+            y_label="things",
+            xs=[1, 2],
+            series={"fifo": [10.0, 20.5], "lru": [1.0, 2.0]},
+            expectation="fifo above lru",
+        )
+        text = format_panel(panel)
+        assert "figX" in text
+        assert "fifo" in text and "lru" in text
+        assert "20.50" in text
+        assert "paper shape" in text
+
+    def test_format_table_panel(self):
+        panel = TableResult(
+            panel_id="figY",
+            title="snap",
+            headers=["a", "b"],
+            rows=[["x", 1], ["y", 2]],
+        )
+        text = format_panel(panel)
+        assert "a" in text and "y" in text
+
+    def test_format_figure(self):
+        figure = fig5_timeline(MICRO, seed=3)
+        text = format_figure(figure)
+        assert text.startswith("==== fig5")

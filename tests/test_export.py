@@ -1,0 +1,92 @@
+"""Tests for result export (JSON/CSV) and sparkline rendering."""
+
+import csv
+import json
+
+from repro.experiments.export import export_figure, figure_to_dict
+from repro.experiments.figures import FigureResult, SweepResult, TableResult
+from repro.experiments.report import format_panel, sparkline
+
+
+def demo_figure():
+    return FigureResult(
+        figure_id="figX",
+        title="demo figure",
+        panels=[
+            SweepResult(
+                panel_id="figXa",
+                title="a sweep",
+                x_label="k",
+                y_label="stuff",
+                xs=[1.0, 2.0, 3.0],
+                series={"fifo": [10.0, 20.0, 30.0], "lru": [1.0, 2.0, 3.0]},
+                expectation="fifo above lru",
+            ),
+            TableResult(
+                panel_id="figXb",
+                title="a table",
+                headers=["policy", "value"],
+                rows=[["fifo", 1], ["lru", 2]],
+            ),
+        ],
+    )
+
+
+class TestFigureToDict:
+    def test_round_trippable_json(self):
+        data = figure_to_dict(demo_figure())
+        text = json.dumps(data)
+        back = json.loads(text)
+        assert back["figure_id"] == "figX"
+        assert back["panels"][0]["kind"] == "sweep"
+        assert back["panels"][1]["kind"] == "table"
+        assert back["panels"][0]["series"]["fifo"] == [10.0, 20.0, 30.0]
+
+
+class TestExportFigure:
+    def test_writes_json_and_csvs(self, tmp_path):
+        written = export_figure(demo_figure(), tmp_path, tag="tiny")
+        names = {p.name for p in written}
+        assert names == {"figX_tiny.json", "figXa_tiny.csv", "figXb_tiny.csv"}
+        for path in written:
+            assert path.exists()
+
+    def test_sweep_csv_contents(self, tmp_path):
+        export_figure(demo_figure(), tmp_path)
+        with open(tmp_path / "figXa.csv") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["k", "fifo", "lru"]
+        assert rows[1] == ["1.0", "10.0", "1.0"]
+        assert len(rows) == 4
+
+    def test_table_csv_contents(self, tmp_path):
+        export_figure(demo_figure(), tmp_path)
+        with open(tmp_path / "figXb.csv") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["policy", "value"]
+        assert rows[1] == ["fifo", "1"]
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "deep" / "dir"
+        export_figure(demo_figure(), target)
+        assert (target / "figX.json").exists()
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([7, 7, 7]) == "▄▄▄"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_width_cap(self):
+        assert len(sparkline(list(range(100)), width=10)) == 10
+
+    def test_panel_rendering_includes_sparklines(self):
+        text = format_panel(demo_figure().panels[0])
+        assert "▁" in text or "█" in text

@@ -1,0 +1,205 @@
+"""End-to-end tests for the Section IV extensibility claims: other
+attributes, other ranking functions, dynamic k, and custom plug-ins."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.engine.queries import KeywordQuery, SpatialQuery, TopKQuery, UserQuery
+from repro.engine.system import MicroblogSystem
+from repro.model.attributes import AttributeExtractor, SpatialGridAttribute
+from repro.model.microblog import GeoPoint
+from repro.model.ranking import CallableRanking, PopularityRanking, WeightedRanking, TemporalRanking
+from tests.conftest import make_blog, make_blogs
+
+POLICIES = ("fifo", "kflushing", "kflushing-mk", "lru")
+
+
+class TestPopularityRanking:
+    """Section IV-B: any arrival-computable ranking keeps working —
+    posting lists stay score-ordered and Phase 1 trims by score."""
+
+    def build(self, policy):
+        return MicroblogSystem(
+            SystemConfig(
+                policy=policy,
+                ranking=PopularityRanking(popularity_weight=1000.0),
+                k=3,
+                memory_capacity_bytes=500_000,
+            )
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_exact_topk_by_popularity(self, policy):
+        system = self.build(policy)
+        ranking = PopularityRanking(popularity_weight=1000.0)
+        blogs = []
+        for followers in (0, 10, 10_000, 1_000_000, 3, 500, 90_000, 7):
+            blog = make_blog(keywords=("k",), followers=followers)
+            blogs.append(blog)
+            system.ingest(blog)
+        result = system.search(KeywordQuery("k", k=3))
+        expected = sorted(blogs, key=ranking.sort_key, reverse=True)[:3]
+        assert list(result.blog_ids) == [b.blog_id for b in expected]
+
+    def test_phase1_trims_lowest_scores(self):
+        system = self.build("kflushing")
+        star = make_blog(keywords=("k",), followers=10**8)
+        system.ingest(star)
+        nobodies = make_blogs(6, keywords=("k",), followers=0)
+        for blog in nobodies:
+            system.ingest(blog)
+        system.engine.run_flush(now=system.now)
+        kept = [p.blog_id for p in system.engine.lookup("k").candidates]
+        # The old-but-famous post survives the trim; old nobodies go.
+        assert star.blog_id in kept
+        assert len(kept) == 3
+
+    def test_weighted_ranking_in_system(self):
+        ranking = WeightedRanking(
+            [(0.5, TemporalRanking()), (0.5, PopularityRanking(10.0))]
+        )
+        system = MicroblogSystem(
+            SystemConfig(policy="kflushing", ranking=ranking, k=2,
+                         memory_capacity_bytes=500_000)
+        )
+        for blog in make_blogs(5, keywords=("k",)):
+            system.ingest(blog)
+        assert system.search(KeywordQuery("k", k=2)).memory_hit
+
+    def test_callable_ranking_in_system(self):
+        # Rank by user id: arbitrary but arrival-computable.
+        ranking = CallableRanking(lambda r: float(r.user_id), name="by-user")
+        system = MicroblogSystem(
+            SystemConfig(policy="kflushing", ranking=ranking, k=2,
+                         memory_capacity_bytes=500_000)
+        )
+        low = make_blog(keywords=("k",), user_id=1)
+        high = make_blog(keywords=("k",), user_id=99)
+        mid = make_blog(keywords=("k",), user_id=50)
+        for blog in (low, high, mid):
+            system.ingest(blog)
+        result = system.search(KeywordQuery("k", k=2))
+        assert list(result.blog_ids) == [high.blog_id, mid.blog_id]
+
+
+class TestSpatialEndToEnd:
+    def test_spatial_flushing_and_query(self):
+        grid = SpatialGridAttribute(tile_side_degrees=1.0)
+        system = MicroblogSystem(
+            SystemConfig(
+                policy="kflushing",
+                attribute="spatial",
+                k=3,
+                memory_capacity_bytes=20_000,
+                tile_side_degrees=1.0,
+            )
+        )
+        hot_tile_point = GeoPoint(40.5, -74.5)
+        for blog in make_blogs(200, location=hot_tile_point):
+            system.ingest(blog)
+        assert len(system.flush_reports()) > 0
+        tile = grid.tile_of(40.5, -74.5)
+        result = system.search(SpatialQuery(tile, k=3))
+        assert result.memory_hit
+
+    def test_records_without_location_skipped(self):
+        system = MicroblogSystem(
+            SystemConfig(policy="kflushing", attribute="spatial", k=3,
+                         memory_capacity_bytes=40_000)
+        )
+        assert not system.ingest(make_blog())
+        assert system.stats.ingest.skipped == 1
+
+
+class TestDynamicK:
+    """Section IV-C: k changes take effect at the next flushing cycle."""
+
+    @pytest.mark.parametrize("policy", ("kflushing", "kflushing-mk"))
+    def test_decrease_then_flush_trims(self, policy):
+        system = MicroblogSystem(
+            SystemConfig(policy=policy, k=5, memory_capacity_bytes=10**6)
+        )
+        for blog in make_blogs(8, keywords=("hot",)):
+            system.ingest(blog)
+        system.set_k(2)
+        system.engine.run_flush(now=system.now)
+        assert len(system.engine.index.get("hot")) == 2
+
+    def test_decrease_still_serves_smaller_queries_immediately(self):
+        system = MicroblogSystem(
+            SystemConfig(policy="kflushing", k=5, memory_capacity_bytes=10**6)
+        )
+        for blog in make_blogs(5, keywords=("hot",)):
+            system.ingest(blog)
+        system.set_k(2)
+        assert system.search(KeywordQuery("hot", k=2)).memory_hit
+
+    def test_increase_catches_up_with_arrivals(self):
+        system = MicroblogSystem(
+            SystemConfig(policy="kflushing", k=2, memory_capacity_bytes=10**6)
+        )
+        for blog in make_blogs(2, keywords=("hot",)):
+            system.ingest(blog)
+        system.set_k(4)
+        # Not yet enough data for the new k ...
+        assert not system.search(KeywordQuery("hot", k=4)).memory_hit
+        # ... but fast arrivals catch up quickly (the paper's argument).
+        for blog in make_blogs(4, keywords=("hot",)):
+            system.ingest(blog)
+        assert system.search(KeywordQuery("hot", k=4)).memory_hit
+
+
+class HashtagPairAttribute(AttributeExtractor):
+    """A custom third-party extractor: index by unordered tag pair."""
+
+    name = "tag-pair"
+    multi_key = True
+
+    def keys(self, record):
+        tags = sorted(record.keywords)
+        return tuple(
+            (a, b) for i, a in enumerate(tags) for b in tags[i + 1 :]
+        )
+
+
+class TestCustomAttributePlugin:
+    def test_custom_extractor_via_config(self):
+        system = MicroblogSystem(
+            SystemConfig(
+                policy="kflushing",
+                attribute=HashtagPairAttribute(),
+                k=2,
+                memory_capacity_bytes=10**6,
+            )
+        )
+        for blog in make_blogs(3, keywords=("a", "b")):
+            system.ingest(blog)
+        result = system.search(TopKQuery(keys=(("a", "b"),), k=2))
+        assert result.memory_hit
+
+    def test_single_tag_records_skipped_by_pair_attribute(self):
+        system = MicroblogSystem(
+            SystemConfig(
+                policy="kflushing",
+                attribute=HashtagPairAttribute(),
+                k=2,
+                memory_capacity_bytes=10**6,
+            )
+        )
+        assert not system.ingest(make_blog(keywords=("solo",)))
+
+
+class TestUserTimelines:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_timeline_most_recent_first(self, policy):
+        system = MicroblogSystem(
+            SystemConfig(policy=policy, attribute="user", k=3,
+                         memory_capacity_bytes=10**6)
+        )
+        blogs = make_blogs(6, user_id=42)
+        for blog in blogs:
+            system.ingest(blog)
+        result = system.search(UserQuery(42, k=3))
+        assert result.memory_hit
+        expected = sorted((b.blog_id for b in blogs), reverse=True)[:3]
+        assert list(result.blog_ids) == expected

@@ -1,0 +1,177 @@
+"""Integration tests: every policy against a brute-force oracle.
+
+The strongest property of the whole system: regardless of flushing
+policy, flush timing, or hit/miss path, a query's answer equals the
+brute-force top-k over *everything that was ever ingested* (memory plus
+disk form a lossless partition).  For AND queries this holds in strict
+mode; the default operational AND mode may serve approximate memory hits
+(the paper's accounting), which is asserted separately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.engine.queries import AndQuery, KeywordQuery, OrQuery, TopKQuery, UserQuery
+from repro.engine.system import MicroblogSystem
+from repro.workload.stream import MicroblogStream, StreamConfig
+
+POLICIES = ("fifo", "kflushing", "kflushing-mk", "lru")
+K = 4
+
+
+def build_system(policy, strict_and=True, attribute="keyword"):
+    config = SystemConfig(
+        policy=policy,
+        attribute=attribute,
+        k=K,
+        memory_capacity_bytes=120_000,
+        flush_fraction=0.25,
+    )
+    return MicroblogSystem(config, strict_and=strict_and)
+
+
+def build_stream(attribute="keyword"):
+    return MicroblogStream(
+        StreamConfig(
+            seed=5,
+            vocabulary_size=60,
+            user_count=30,
+            with_locations=(attribute == "spatial"),
+        )
+    )
+
+
+def oracle_single(records, key, k, key_fn):
+    matching = [r for r in records if key in key_fn(r)]
+    matching.sort(key=lambda r: (r.timestamp, r.blog_id), reverse=True)
+    return [r.blog_id for r in matching[:k]]
+
+
+def oracle_or(records, keys, k):
+    matching = [r for r in records if any(key in r.keywords for key in keys)]
+    matching.sort(key=lambda r: (r.timestamp, r.blog_id), reverse=True)
+    return [r.blog_id for r in matching[:k]]
+
+
+def oracle_and(records, keys, k):
+    matching = [r for r in records if all(key in r.keywords for key in keys)]
+    matching.sort(key=lambda r: (r.timestamp, r.blog_id), reverse=True)
+    return [r.blog_id for r in matching[:k]]
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestExactness:
+    def _run(self, policy, attribute="keyword"):
+        system = build_system(policy, attribute=attribute)
+        stream = build_stream(attribute)
+        ingested = []
+        for record in stream.take(3_000):
+            if system.ingest(record):
+                ingested.append(record)
+        assert len(system.flush_reports()) > 0, "test must exercise flushing"
+        return system, ingested, stream
+
+    def test_single_keyword_queries_exact(self, policy):
+        system, ingested, stream = self._run(policy)
+        for rank in (0, 1, 5, 20, 55):
+            key = stream.vocabulary.tag(rank)
+            result = system.search(KeywordQuery(key, k=K))
+            expected = oracle_single(ingested, key, K, lambda r: r.keywords)
+            assert list(result.blog_ids) == expected, (policy, key)
+            assert result.provably_exact
+
+    def test_or_queries_exact(self, policy):
+        system, ingested, stream = self._run(policy)
+        pairs = [(0, 1), (0, 40), (30, 50)]
+        for a, b in pairs:
+            keys = (stream.vocabulary.tag(a), stream.vocabulary.tag(b))
+            result = system.search(OrQuery(keys, k=K))
+            assert list(result.blog_ids) == oracle_or(ingested, keys, K)
+
+    def test_and_queries_exact_in_strict_mode(self, policy):
+        system, ingested, stream = self._run(policy)
+        pairs = [(0, 1), (0, 2), (1, 3), (10, 20)]
+        for a, b in pairs:
+            keys = (stream.vocabulary.tag(a), stream.vocabulary.tag(b))
+            result = system.search(AndQuery(keys, k=K))
+            assert list(result.blog_ids) == oracle_and(ingested, keys, K), (
+                policy,
+                keys,
+            )
+            assert result.provably_exact
+
+    def test_memory_hits_only_when_provable(self, policy):
+        system, ingested, stream = self._run(policy)
+        for rank in range(0, 60, 7):
+            key = stream.vocabulary.tag(rank)
+            result = system.search(KeywordQuery(key, k=K))
+            if result.memory_hit:
+                assert result.disk_lookups == 0
+                assert result.provably_exact
+
+    def test_user_attribute_exact(self, policy):
+        system, ingested, _ = self._run(policy, attribute="user")
+        for user_id in (0, 1, 5, 25):
+            result = system.search(UserQuery(user_id, k=K))
+            expected = oracle_single(ingested, user_id, K, lambda r: (r.user_id,))
+            assert list(result.blog_ids) == expected
+
+
+class TestOperationalAndMode:
+    """Default (non-strict) AND hits may be approximate but must still be
+    a subset of the true intersection, correctly ordered."""
+
+    @pytest.mark.parametrize("policy", ("kflushing", "kflushing-mk"))
+    def test_operational_and_subset_of_truth(self, policy):
+        system = build_system(policy, strict_and=False)
+        stream = build_stream()
+        ingested = []
+        for record in stream.take(3_000):
+            if system.ingest(record):
+                ingested.append(record)
+        for a, b in [(0, 1), (0, 2), (2, 5)]:
+            keys = (stream.vocabulary.tag(a), stream.vocabulary.tag(b))
+            result = system.search(AndQuery(keys, k=K))
+            truth = set(
+                r.blog_id
+                for r in ingested
+                if all(key in r.keywords for key in keys)
+            )
+            assert set(result.blog_ids) <= truth
+            ts = [p.timestamp for p in result.postings]
+            assert ts == sorted(ts, reverse=True)
+
+
+class TestLosslessPartition:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_every_record_in_memory_or_disk(self, policy):
+        system = build_system(policy)
+        stream = build_stream()
+        ingested = []
+        for record in stream.take(2_500):
+            if system.ingest(record):
+                ingested.append(record)
+        assert len(system.flush_reports()) > 0
+        for record in ingested:
+            in_memory = system.engine.get_record(record.blog_id) is not None
+            on_disk = system.disk.contains_record(record.blog_id)
+            assert in_memory or on_disk, record.blog_id
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_per_key_postings_partition(self, policy):
+        """For any key, each (key, id) pair lives in memory or on disk —
+        never lost, and the union covers every ingested association."""
+        system = build_system(policy)
+        stream = build_stream()
+        ingested = []
+        for record in stream.take(2_500):
+            if system.ingest(record):
+                ingested.append(record)
+        for rank in (0, 3, 30):
+            key = stream.vocabulary.tag(rank)
+            truth = {r.blog_id for r in ingested if key in r.keywords}
+            memory_ids = {p.blog_id for p in system.engine.lookup(key).candidates}
+            disk_ids = {p.blog_id for p in system.disk.lookup(key)}
+            assert memory_ids | disk_ids == truth, (policy, key)

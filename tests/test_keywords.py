@@ -1,0 +1,80 @@
+"""Unit tests for keyword extraction and normalisation."""
+
+import pytest
+
+from repro.model.keywords import (
+    STOPWORDS,
+    extract_hashtags,
+    extract_terms,
+    normalize_all,
+    normalize_keyword,
+)
+
+
+class TestNormalizeKeyword:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("Obama", "obama"),
+            ("#NBA", "nba"),
+            ("  #Finals  ", "finals"),
+            ("already", "already"),
+            ("", ""),
+            ("#", ""),
+            ("   ", ""),
+        ],
+    )
+    def test_normalisation(self, raw, expected):
+        assert normalize_keyword(raw) == expected
+
+
+class TestExtractHashtags:
+    def test_basic(self):
+        assert extract_hashtags("Breaking #NBA finals! #obama") == ("nba", "obama")
+
+    def test_deduplicates_case_insensitively(self):
+        assert extract_hashtags("#NBA #nba #Nba") == ("nba",)
+
+    def test_preserves_first_appearance_order(self):
+        assert extract_hashtags("#zeta then #alpha then #zeta") == ("zeta", "alpha")
+
+    def test_no_hashtags(self):
+        assert extract_hashtags("plain text here") == ()
+
+    def test_hashtag_with_digits_and_hyphen(self):
+        assert extract_hashtags("#win2024 #covid-19") == ("win2024", "covid-19")
+
+    def test_bare_hash_ignored(self):
+        assert extract_hashtags("# not a tag") == ()
+
+
+class TestExtractTerms:
+    def test_drops_stopwords(self):
+        terms = extract_terms("the game was in the final minute")
+        assert terms == ("game", "final", "minute")
+
+    def test_limit(self):
+        terms = extract_terms("alpha bravo charlie delta", limit=2)
+        assert terms == ("alpha", "bravo")
+
+    def test_deduplicates(self):
+        assert extract_terms("rain rain rain storm") == ("rain", "storm")
+
+    def test_single_letters_skipped(self):
+        # The term regex requires at least two characters.
+        assert extract_terms("x y game") == ("game",)
+
+    def test_empty_text(self):
+        assert extract_terms("") == ()
+
+    def test_stopwords_is_frozen(self):
+        assert "the" in STOPWORDS
+        assert isinstance(STOPWORDS, frozenset)
+
+
+class TestNormalizeAll:
+    def test_drops_empties_and_duplicates(self):
+        assert normalize_all(["#A", "a", "", "B", "#"]) == ("a", "b")
+
+    def test_empty_input(self):
+        assert normalize_all([]) == ()

@@ -1,0 +1,62 @@
+"""Unit tests for the byte-cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage.memory_model import MemoryModel
+from tests.conftest import make_blog
+
+
+class TestRecordBytes:
+    def test_overhead_plus_payload(self):
+        model = MemoryModel(record_overhead=100, text_byte_cost=1, keyword_byte_cost=1)
+        blog = make_blog(keywords=("ab", "cde"), text="hello")
+        assert model.record_bytes(blog) == 100 + 5 + 2 + 3
+
+    def test_empty_record(self):
+        model = MemoryModel(record_overhead=96)
+        blog = make_blog(keywords=("x",), text="")
+        assert model.record_bytes(blog) == 96 + 1
+
+    def test_text_cost_scales(self):
+        model = MemoryModel(text_byte_cost=2)
+        blog = make_blog(text="abcd", keywords=())
+        base = MemoryModel(text_byte_cost=1).record_bytes(blog)
+        assert model.record_bytes(blog) == base + 4
+
+    def test_longer_text_costs_more(self):
+        model = MemoryModel()
+        short = make_blog(text="ab", keywords=("k",))
+        long = make_blog(text="ab" * 50, keywords=("k",))
+        assert model.record_bytes(long) > model.record_bytes(short)
+
+
+class TestEntryBytes:
+    def test_entry_bytes(self):
+        model = MemoryModel(entry_overhead=64, posting_bytes=8)
+        assert model.entry_bytes(0) == 64
+        assert model.entry_bytes(10) == 64 + 80
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModel().entry_bytes(-1)
+
+    def test_postings_bytes(self):
+        model = MemoryModel(posting_bytes=8)
+        assert model.postings_bytes(5) == 40
+        assert model.postings_bytes(0) == 0
+
+
+class TestValidation:
+    def test_negative_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel(record_overhead=-1)
+
+    def test_zero_cost_records_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel(record_overhead=0, text_byte_cost=0)
+
+    def test_frozen(self):
+        model = MemoryModel()
+        with pytest.raises(AttributeError):
+            model.posting_bytes = 1

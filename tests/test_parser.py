@@ -1,0 +1,84 @@
+"""Tests for the query-string parser."""
+
+import pytest
+
+from repro.engine.parser import parse_query
+from repro.engine.queries import CombineMode
+from repro.errors import QueryError
+
+
+class TestSingle:
+    def test_bare_keyword(self):
+        q = parse_query("Obama")
+        assert q.keys == ("obama",)
+        assert q.mode is CombineMode.SINGLE
+        assert q.k == 20
+
+    def test_k_override(self):
+        assert parse_query("obama k:5").k == 5
+
+    def test_k_anywhere(self):
+        q = parse_query("k:7 obama")
+        assert q.k == 7
+        assert q.keys == ("obama",)
+
+    def test_default_k_parameter(self):
+        assert parse_query("obama", default_k=3).k == 3
+
+    def test_user_query(self):
+        q = parse_query("user:42")
+        assert q.keys == (42,)
+        assert q.mode is CombineMode.SINGLE
+
+    def test_tile_query(self):
+        q = parse_query("tile:12,-34 k:9")
+        assert q.keys == ((12, -34),)
+        assert q.k == 9
+
+
+class TestMultiKeyword:
+    def test_implicit_and(self):
+        q = parse_query("obama nba")
+        assert q.mode is CombineMode.AND
+        assert q.keys == ("obama", "nba")
+
+    def test_explicit_and(self):
+        q = parse_query("obama AND nba")
+        assert q.mode is CombineMode.AND
+        assert q.keys == ("obama", "nba")
+
+    def test_or(self):
+        q = parse_query("obama OR nba OR finals")
+        assert q.mode is CombineMode.OR
+        assert q.keys == ("obama", "nba", "finals")
+
+    def test_lowercase_operators(self):
+        assert parse_query("a or b").mode is CombineMode.OR
+        assert parse_query("a and b").mode is CombineMode.AND
+
+    def test_operator_then_single_keyword_degenerates(self):
+        # "AND nba" leaves a single keyword -> single-key query.
+        q = parse_query("AND nba")
+        assert q.mode is CombineMode.SINGLE
+
+
+class TestErrors:
+    def test_empty_string(self):
+        with pytest.raises(QueryError):
+            parse_query("")
+
+    def test_only_k(self):
+        with pytest.raises(QueryError):
+            parse_query("k:10")
+
+    def test_mixed_operators(self):
+        with pytest.raises(QueryError, match="mix"):
+            parse_query("a AND b OR c")
+
+    def test_zero_k(self):
+        with pytest.raises(QueryError):
+            parse_query("obama k:0")
+
+    def test_user_mixed_with_keywords(self):
+        with pytest.raises(QueryError):
+            parse_query("user:3 obama")

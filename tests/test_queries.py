@@ -1,0 +1,87 @@
+"""Unit tests for query types and validation."""
+
+import pytest
+
+from repro.engine.queries import (
+    AndQuery,
+    CombineMode,
+    KeywordQuery,
+    OrQuery,
+    SpatialQuery,
+    TopKQuery,
+    UserQuery,
+)
+from repro.errors import QueryError
+
+
+class TestKeywordQuery:
+    def test_normalises_keyword(self):
+        q = KeywordQuery("#Obama", k=5)
+        assert q.keys == ("obama",)
+        assert q.k == 5
+        assert q.mode is CombineMode.SINGLE
+
+    def test_default_k_is_20(self):
+        assert KeywordQuery("x").k == 20
+
+    def test_empty_keyword_rejected(self):
+        with pytest.raises(QueryError):
+            KeywordQuery("#")
+
+
+class TestMultiKeywordQueries:
+    def test_and_query(self):
+        q = AndQuery(["NBA", "#Finals"], k=10)
+        assert q.keys == ("nba", "finals")
+        assert q.mode is CombineMode.AND
+
+    def test_or_query(self):
+        q = OrQuery(["a", "b", "c"])
+        assert q.mode is CombineMode.OR
+        assert len(q.keys) == 3
+
+    def test_needs_two_keys(self):
+        with pytest.raises(QueryError):
+            AndQuery(["only"])
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(QueryError):
+            OrQuery(["same", "#Same"])
+
+    def test_empty_keyword_in_list_rejected(self):
+        with pytest.raises(QueryError):
+            AndQuery(["ok", "  "])
+
+
+class TestOtherAttributes:
+    def test_user_query(self):
+        q = UserQuery(42, k=7)
+        assert q.keys == (42,)
+        assert q.mode is CombineMode.SINGLE
+
+    def test_spatial_query(self):
+        q = SpatialQuery((3, -4))
+        assert q.keys == ((3, -4),)
+
+
+class TestTopKQueryValidation:
+    def test_non_positive_k_rejected(self):
+        with pytest.raises(QueryError):
+            TopKQuery(keys=("a",), k=0)
+
+    def test_no_keys_rejected(self):
+        with pytest.raises(QueryError):
+            TopKQuery(keys=(), k=5)
+
+    def test_single_mode_with_many_keys_rejected(self):
+        with pytest.raises(QueryError):
+            TopKQuery(keys=("a", "b"), k=5, mode=CombineMode.SINGLE)
+
+    def test_and_mode_with_one_key_rejected(self):
+        with pytest.raises(QueryError):
+            TopKQuery(keys=("a",), k=5, mode=CombineMode.AND)
+
+    def test_frozen(self):
+        q = KeywordQuery("a")
+        with pytest.raises(AttributeError):
+            q.k = 5

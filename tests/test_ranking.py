@@ -1,0 +1,97 @@
+"""Unit tests for ranking functions."""
+
+import pytest
+
+from repro.model.ranking import (
+    CallableRanking,
+    PopularityRanking,
+    TemporalRanking,
+    WeightedRanking,
+    ranking_from_name,
+)
+from tests.conftest import make_blog
+
+
+class TestTemporalRanking:
+    def test_score_is_timestamp(self):
+        blog = make_blog(timestamp=42.5)
+        assert TemporalRanking().score(blog) == 42.5
+
+    def test_newer_scores_higher(self):
+        r = TemporalRanking()
+        older = make_blog(timestamp=1.0)
+        newer = make_blog(timestamp=2.0)
+        assert r.score(newer) > r.score(older)
+
+    def test_sort_key_breaks_ties_by_id(self):
+        r = TemporalRanking()
+        a = make_blog(timestamp=1.0, blog_id=100)
+        b = make_blog(timestamp=1.0, blog_id=200)
+        assert r.sort_key(b) > r.sort_key(a)
+
+
+class TestPopularityRanking:
+    def test_zero_weight_degenerates_to_temporal(self):
+        r = PopularityRanking(popularity_weight=0.0)
+        blog = make_blog(timestamp=5.0, followers=1_000_000)
+        assert r.score(blog) == 5.0
+
+    def test_followers_boost(self):
+        r = PopularityRanking(popularity_weight=60.0)
+        nobody = make_blog(timestamp=100.0, followers=0)
+        star = make_blog(timestamp=100.0, followers=1_000_000)
+        assert r.score(star) > r.score(nobody)
+        assert r.score(nobody) == 100.0
+
+    def test_boost_is_logarithmic(self):
+        r = PopularityRanking(popularity_weight=1.0)
+        t = 0.0
+        one = r.score(make_blog(timestamp=t, followers=1))
+        three = r.score(make_blog(timestamp=t, followers=3))
+        assert three == pytest.approx(one + 1.0)  # log2(4) - log2(2) == 1
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            PopularityRanking(popularity_weight=-1.0)
+
+    def test_popular_old_post_can_outrank_new_post(self):
+        r = PopularityRanking(popularity_weight=60.0)
+        old_star = make_blog(timestamp=0.0, followers=1 << 20)
+        fresh = make_blog(timestamp=30.0, followers=0)
+        assert r.score(old_star) > r.score(fresh)
+
+
+class TestWeightedRanking:
+    def test_combination(self):
+        r = WeightedRanking([(1.0, TemporalRanking()), (2.0, TemporalRanking())])
+        blog = make_blog(timestamp=10.0)
+        assert r.score(blog) == pytest.approx(30.0)
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedRanking([])
+
+    def test_negative_weights_allowed(self):
+        r = WeightedRanking([(-1.0, TemporalRanking())])
+        assert r.score(make_blog(timestamp=3.0)) == -3.0
+
+
+class TestCallableRanking:
+    def test_wraps_callable(self):
+        r = CallableRanking(lambda blog: float(blog.user_id), name="by-user")
+        assert r.score(make_blog(user_id=7)) == 7.0
+        assert r.name == "by-user"
+
+    def test_coerces_to_float(self):
+        r = CallableRanking(lambda blog: blog.user_id)
+        assert isinstance(r.score(make_blog(user_id=3)), float)
+
+
+class TestRankingFromName:
+    def test_builtins(self):
+        assert isinstance(ranking_from_name("temporal"), TemporalRanking)
+        assert isinstance(ranking_from_name("popularity"), PopularityRanking)
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(ValueError, match="temporal"):
+            ranking_from_name("bogus")

@@ -1,0 +1,98 @@
+"""Tests for JSON-lines trace persistence."""
+
+import pytest
+
+from repro.engine.queries import AndQuery, KeywordQuery, SpatialQuery, UserQuery
+from repro.errors import WorkloadError
+from repro.model.microblog import GeoPoint
+from repro.workload.stream import MicroblogStream, StreamConfig
+from repro.workload.trace import load_queries, load_records, save_queries, save_records
+from tests.conftest import make_blog
+
+
+class TestRecordRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        original = [
+            make_blog(keywords=("a", "b"), text="hello", followers=7),
+            make_blog(location=GeoPoint(40.5, -74.25)),
+            make_blog(keywords=()),
+        ]
+        path = tmp_path / "trace.jsonl"
+        assert save_records(original, path) == 3
+        loaded = list(load_records(path))
+        assert loaded == original
+
+    def test_streamed_from_generator(self, tmp_path):
+        stream = MicroblogStream(StreamConfig(seed=3, vocabulary_size=100))
+        path = tmp_path / "stream.jsonl"
+        save_records(stream.take(50), path)
+        loaded = list(load_records(path))
+        assert len(loaded) == 50
+        assert all(r.has_location for r in loaded)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_records([make_blog()], path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(list(load_records(path))) == 1
+
+    def test_malformed_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": 1, "ts": 0.0, "user": 0}\nnot json\n')
+        with pytest.raises(WorkloadError, match="bad.jsonl:2"):
+            list(load_records(path))
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ts": 0.0}\n')
+        with pytest.raises(WorkloadError):
+            list(load_records(path))
+
+
+class TestQueryRoundtrip:
+    def test_roundtrip_all_query_shapes(self, tmp_path):
+        original = [
+            KeywordQuery("obama", k=20),
+            AndQuery(["a", "b"], k=5),
+            UserQuery(42, k=10),
+            SpatialQuery((3, -4), k=7),
+        ]
+        path = tmp_path / "queries.jsonl"
+        assert save_queries(original, path) == 4
+        loaded = list(load_queries(path))
+        assert loaded == original
+
+    def test_tile_keys_back_to_tuples(self, tmp_path):
+        path = tmp_path / "queries.jsonl"
+        save_queries([SpatialQuery((9, 9))], path)
+        (query,) = load_queries(path)
+        assert isinstance(query.keys[0], tuple)
+
+    def test_malformed_query_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"keys": ["x"], "k": 0, "mode": "single"}\n')
+        with pytest.raises(WorkloadError):
+            list(load_queries(path))
+
+
+class TestReplayEquivalence:
+    def test_saved_trace_replays_identically(self, tmp_path):
+        """Ingesting a saved trace produces the same system state as
+        ingesting the live stream."""
+        from repro.config import SystemConfig
+        from repro.engine.system import MicroblogSystem
+
+        def run(records):
+            system = MicroblogSystem(
+                SystemConfig(policy="kflushing", k=3, memory_capacity_bytes=50_000)
+            )
+            system.ingest_many(records)
+            return system.frequency_snapshot()
+
+        stream = MicroblogStream(
+            StreamConfig(seed=12, vocabulary_size=80, with_locations=False)
+        )
+        records = stream.take(1_500)
+        path = tmp_path / "trace.jsonl"
+        save_records(records, path)
+        assert run(records) == run(load_records(path))
