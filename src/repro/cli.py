@@ -4,8 +4,14 @@ Subcommands
 -----------
 ``list``
     Show the available figure experiments and scale presets.
-``run --figure fig7 [--scale small] [--seed 42]``
-    Run one figure experiment (or ``all``) and print its tables.
+``run --figure fig7 [--scale small] [--seed 42] [--metrics-out m.jsonl]``
+    Run one figure experiment (or ``all``) and print its tables;
+    ``--metrics-out`` streams every instrumentation event of the run
+    (flush spans, query events, final snapshot) to a JSONL file.
+``stats``
+    Run a tiny synthetic workload and dump the instrumentation registry
+    (flush phase spans, per-mode query counters, disk I/O) as JSON or
+    Prometheus-style text.
 ``demo``
     A 30-second end-to-end demo: ingest a synthetic stream under two
     policies and compare their steady-state hit ratios.
@@ -16,6 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.config import SystemConfig
@@ -23,6 +30,7 @@ from repro.engine.system import MicroblogSystem
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.report import print_figure
 from repro.experiments.scale import PRESETS, SMALL
+from repro.obs import Instrumentation, JsonlSink, activated, to_json, to_prometheus_text
 from repro.workload.queryload import QueryLoad, QueryLoadConfig
 from repro.workload.stream import MicroblogStream, StreamConfig
 
@@ -41,13 +49,66 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     preset = PRESETS[args.scale]
     names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
+    obs: Optional[Instrumentation] = None
+    if args.metrics_out:
+        obs = Instrumentation(sink=JsonlSink(args.metrics_out))
     for name in names:
         fn = ALL_FIGURES[name]
         start = time.perf_counter()
-        figure = fn(preset, seed=args.seed)
+        if obs is not None:
+            # Every system built inside the figure shares this registry
+            # and streams its events to the JSONL sink.
+            with activated(obs):
+                figure = fn(preset, seed=args.seed)
+        else:
+            figure = fn(preset, seed=args.seed)
         elapsed = time.perf_counter() - start
         print_figure(figure)
         print(f"[{name} completed in {elapsed:.1f}s at scale={preset.name}]\n")
+    if obs is not None:
+        obs.event("run_snapshot", figures=names, metrics=obs.registry.snapshot())
+        obs.close()
+        print(f"[metrics written to {args.metrics_out}]")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Tiny fig1-style run: ingest + interleaved queries, dump metrics."""
+    obs = Instrumentation(
+        sink=JsonlSink(args.events_out) if args.events_out else None
+    )
+    config = SystemConfig(
+        policy=args.policy,
+        k=args.k,
+        memory_capacity_bytes=args.capacity_bytes,
+        and_scan_depth=500,
+        and_disk_limit=500,
+    )
+    system = MicroblogSystem(config, obs=obs)
+    stream = MicroblogStream(
+        StreamConfig(seed=args.seed, vocabulary_size=5_000, with_locations=False)
+    )
+    queries = QueryLoad(QueryLoadConfig(seed=args.seed + 1, mode="correlated"), stream)
+    per_query = max(1, args.records // max(1, args.queries))
+    ingested = 0
+    for record in stream.take(args.records):
+        system.ingest(record)
+        ingested += 1
+        if ingested % per_query == 0:
+            system.search(queries.next_query())
+    obs.close()
+    rendered = (
+        to_prometheus_text(obs.registry)
+        if args.format == "prom"
+        else to_json(obs.registry)
+    )
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(rendered + "\n", encoding="utf-8")
+        print(f"[metrics snapshot written to {args.out}]")
+    else:
+        print(rendered)
     return 0
 
 
@@ -107,7 +168,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", default=SMALL.name, choices=sorted(PRESETS), help="fidelity preset"
     )
     run.add_argument("--seed", type=int, default=42, help="workload seed")
+    run.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="stream instrumentation events of the run to this JSONL file",
+    )
     run.set_defaults(fn=_cmd_run)
+
+    stats = sub.add_parser(
+        "stats", help="run a tiny workload and dump the metrics registry"
+    )
+    stats.add_argument(
+        "--policy",
+        default="kflushing",
+        choices=("fifo", "kflushing", "kflushing-mk", "lru"),
+        help="flushing policy to exercise",
+    )
+    stats.add_argument("--records", type=int, default=20_000, help="records to ingest")
+    stats.add_argument(
+        "--queries", type=int, default=2_000, help="queries interleaved with ingestion"
+    )
+    stats.add_argument("--k", type=int, default=20, help="top-k answer size")
+    stats.add_argument(
+        "--capacity-bytes",
+        type=int,
+        default=2_000_000,
+        help="modelled memory budget (small by default so flushes happen)",
+    )
+    stats.add_argument("--seed", type=int, default=42, help="workload seed")
+    stats.add_argument(
+        "--format",
+        default="json",
+        choices=("json", "prom"),
+        help="snapshot format: JSON or Prometheus text exposition",
+    )
+    stats.add_argument(
+        "--out", default=None, metavar="PATH", help="write the snapshot here"
+    )
+    stats.add_argument(
+        "--events-out",
+        default=None,
+        metavar="PATH",
+        help="also stream per-flush/per-query events to this JSONL file",
+    )
+    stats.set_defaults(fn=_cmd_stats)
 
     sub.add_parser("demo", help="quick FIFO vs kFlushing comparison").set_defaults(
         fn=_cmd_demo

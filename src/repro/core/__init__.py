@@ -28,7 +28,7 @@ def create_engine(policy: str, **kwargs) -> MemoryEngine:
 
     ``kwargs`` are the :class:`MemoryEngine` constructor arguments
     (``model``, ``ranking``, ``attribute``, ``k``, ``capacity_bytes``,
-    ``flush_fraction``, ``disk``).
+    ``flush_fraction``, ``disk``, and optionally ``obs``).
     """
     if policy == "fifo":
         return FIFOEngine(**kwargs)

@@ -19,6 +19,7 @@ budget is met:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Hashable
 
@@ -29,7 +30,13 @@ from repro.storage.posting_list import MIN_SORT_KEY, Posting, PostingList, SortK
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.kflushing import KFlushingEngine
 
-__all__ = ["FlushContext", "run_phase1", "run_phase2", "run_phase3"]
+__all__ = [
+    "FlushContext",
+    "entry_flush_cost",
+    "run_phase1",
+    "run_phase2",
+    "run_phase3",
+]
 
 PHASE_REGULAR = "phase1-regular"
 PHASE_AGGRESSIVE = "phase2-aggressive"
@@ -85,34 +92,46 @@ def _evict_posting(
     return freed
 
 
+def _note_phase(
+    engine: "KFlushingEngine", ctx: FlushContext, phase: str, freed: int
+) -> None:
+    """Fold one phase's freed bytes into the context and the metrics."""
+    ctx.freed_bytes += freed
+    ctx.phase_freed[phase] = ctx.phase_freed.get(phase, 0) + freed
+    engine.obs.registry.counter(f"flush.{phase}.freed_bytes").inc(freed)
+
+
 def run_phase1(engine: "KFlushingEngine", ctx: FlushContext) -> None:
     """Regular flushing: trim overflow entries back to top-k."""
     freed = 0
     k = engine.k
-    for key in list(engine.index.overflow_keys):
-        entry = engine.index.get(key)
-        if entry is None:
-            engine.index.clear_overflow(key)
-            continue
-        if engine.mk_enabled:
-            removed = entry.trim_if(
-                k, keep=lambda p, _key=key: engine.in_top_elsewhere(p.blog_id, _key)
-            )
-        else:
-            removed = entry.trim_beyond(k)
-        engine.index.charge_removed_postings(len(removed))
-        for posting in removed:
-            freed += _evict_posting(engine, ctx, key, posting)
-        if len(entry) <= k:
-            engine.index.clear_overflow(key)
-    # The paper wipes L after Phase 1 completes.  Under MK, entries whose
-    # spared stragglers keep them over-full must *stay* in L: the paper's
-    # Figure 6(b) requires the following Phase 1 execution to re-examine
-    # them and trim records that have since left every top-k.
-    if not engine.mk_enabled:
-        engine.index.wipe_overflow()
-    ctx.freed_bytes += freed
-    ctx.phase_freed[PHASE_REGULAR] = ctx.phase_freed.get(PHASE_REGULAR, 0) + freed
+    with engine.obs.span(f"flush.{PHASE_REGULAR}"):
+        for key in list(engine.index.overflow_keys):
+            entry = engine.index.get(key)
+            if entry is None:
+                engine.index.clear_overflow(key)
+                continue
+            if engine.mk_enabled:
+                removed = entry.trim_if(
+                    k,
+                    keep=lambda p, _key=key: engine.in_top_elsewhere(
+                        p.blog_id, _key
+                    ),
+                )
+            else:
+                removed = entry.trim_beyond(k)
+            engine.index.charge_removed_postings(len(removed))
+            for posting in removed:
+                freed += _evict_posting(engine, ctx, key, posting)
+            if len(entry) <= k:
+                engine.index.clear_overflow(key)
+        # The paper wipes L after Phase 1 completes.  Under MK, entries whose
+        # spared stragglers keep them over-full must *stay* in L: the paper's
+        # Figure 6(b) requires the following Phase 1 execution to re-examine
+        # them and trim records that have since left every top-k.
+        if not engine.mk_enabled:
+            engine.index.wipe_overflow()
+    _note_phase(engine, ctx, PHASE_REGULAR, freed)
 
 
 def _flush_entry(
@@ -163,31 +182,42 @@ def _mean_record_share(engine: "KFlushingEngine") -> float:
     return engine.raw.bytes_used / postings
 
 
+def entry_flush_cost(posting_count: int, overhead: int, per_posting: float) -> int:
+    """Estimated bytes freed by evicting an entry of ``posting_count``
+    postings wholesale.
+
+    ``per_posting`` carries the fractional mean record share, so the
+    product is rounded *up*: truncating it under-estimates every victim
+    and mis-sizes the selection against the true freed bytes.
+    """
+    return overhead + math.ceil(posting_count * per_posting)
+
+
 def run_phase2(engine: "KFlushingEngine", ctx: FlushContext) -> None:
     """Aggressive flushing: evict under-k entries, least recently arrived
     first, until the remaining budget is covered."""
     remaining = ctx.remaining
     if remaining <= 0:
         return
-    share = _mean_record_share(engine)
-    # Inlined _entry_flush_cost: this generator scans every index entry on
-    # every flush, so attribute lookups are hoisted out of the loop.
-    k = engine.k
-    overhead = engine.model.entry_overhead
-    per_posting = engine.model.posting_bytes + share
-    candidates = (
-        (entry.last_arrival, overhead + int(len(entry) * per_posting), key)
-        for key, entry in engine.index.items()
-        if len(entry) < k
-    )
-    victims = select_victims_heap(candidates, remaining)
-    freed = 0
-    for _ts, _cost, key in victims:
-        freed += _flush_entry(
-            engine, ctx, key, spare_k_filled_residents=engine.mk_enabled
+    with engine.obs.span(f"flush.{PHASE_AGGRESSIVE}"):
+        share = _mean_record_share(engine)
+        # Inlined entry_flush_cost: this generator scans every index entry
+        # on every flush, so attribute lookups are hoisted out of the loop.
+        k = engine.k
+        overhead = engine.model.entry_overhead
+        per_posting = engine.model.posting_bytes + share
+        candidates = (
+            (entry.last_arrival, overhead + math.ceil(len(entry) * per_posting), key)
+            for key, entry in engine.index.items()
+            if len(entry) < k
         )
-    ctx.freed_bytes += freed
-    ctx.phase_freed[PHASE_AGGRESSIVE] = ctx.phase_freed.get(PHASE_AGGRESSIVE, 0) + freed
+        victims = select_victims_heap(candidates, remaining)
+        freed = 0
+        for _ts, _cost, key in victims:
+            freed += _flush_entry(
+                engine, ctx, key, spare_k_filled_residents=engine.mk_enabled
+            )
+    _note_phase(engine, ctx, PHASE_AGGRESSIVE, freed)
 
 
 def run_phase3(engine: "KFlushingEngine", ctx: FlushContext) -> None:
@@ -198,22 +228,32 @@ def run_phase3(engine: "KFlushingEngine", ctx: FlushContext) -> None:
     the per-victim cost is an estimate and MK Phases 1–2 may have left
     entries of any size behind.
     """
-    while ctx.remaining > 0 and len(engine.index) > 0:
-        share = _mean_record_share(engine)
-        overhead = engine.model.entry_overhead
-        per_posting = engine.model.posting_bytes + share
-        candidates = (
-            (entry.last_query, overhead + int(len(entry) * per_posting), key)
-            for key, entry in engine.index.items()
-        )
-        victims = select_victims_heap(candidates, ctx.remaining)
-        if not victims:
-            break
-        freed = 0
-        for _ts, _cost, key in victims:
-            freed += _flush_entry(engine, ctx, key, spare_k_filled_residents=False)
-        ctx.freed_bytes += freed
-        ctx.phase_freed[PHASE_FORCED] = ctx.phase_freed.get(PHASE_FORCED, 0) + freed
-        if freed == 0:
-            # Every remaining victim was already empty; nothing more to do.
-            break
+    freed = 0
+    with engine.obs.span(f"flush.{PHASE_FORCED}"):
+        while ctx.freed_bytes + freed < ctx.target_bytes and len(engine.index) > 0:
+            share = _mean_record_share(engine)
+            overhead = engine.model.entry_overhead
+            per_posting = engine.model.posting_bytes + share
+            candidates = (
+                (
+                    entry.last_query,
+                    overhead + math.ceil(len(entry) * per_posting),
+                    key,
+                )
+                for key, entry in engine.index.items()
+            )
+            victims = select_victims_heap(
+                candidates, ctx.target_bytes - ctx.freed_bytes - freed
+            )
+            if not victims:
+                break
+            round_freed = 0
+            for _ts, _cost, key in victims:
+                round_freed += _flush_entry(
+                    engine, ctx, key, spare_k_filled_residents=False
+                )
+            freed += round_freed
+            if round_freed == 0:
+                # Every remaining victim was already empty; nothing more to do.
+                break
+    _note_phase(engine, ctx, PHASE_FORCED, freed)

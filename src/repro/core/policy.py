@@ -29,6 +29,7 @@ from repro.errors import ConfigurationError
 from repro.model.attributes import AttributeExtractor
 from repro.model.microblog import Microblog
 from repro.model.ranking import RankingFunction
+from repro.obs import Instrumentation
 from repro.storage.disk import DiskArchive
 from repro.storage.memory_model import MemoryModel
 from repro.storage.posting_list import MIN_SORT_KEY, Posting, SortKey
@@ -103,6 +104,7 @@ class MemoryEngine(ABC):
         capacity_bytes: int,
         flush_fraction: float,
         disk: DiskArchive,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         if k <= 0:
             raise ConfigurationError(f"k must be positive, got {k}")
@@ -119,6 +121,7 @@ class MemoryEngine(ABC):
         self.capacity_bytes = capacity_bytes
         self.flush_fraction = flush_fraction
         self.disk = disk
+        self.obs = obs if obs is not None else Instrumentation()
         self.flush_reports: list[FlushReport] = []
 
     # ------------------------------------------------------------------
@@ -175,11 +178,34 @@ class MemoryEngine(ABC):
         """Evict at least the flush budget to disk; returns the report."""
 
     def run_flush(self, now: float) -> FlushReport:
-        """Template wrapper: times the flush and records the report."""
+        """Template wrapper: times the flush, records the report, and
+        emits the flush span/event plus freed-byte counters."""
         start = time.perf_counter()
-        report = self.flush(now)
+        with self.obs.span("flush", policy=self.name):
+            report = self.flush(now)
         report.wall_seconds = time.perf_counter() - start
         self.flush_reports.append(report)
+        registry = self.obs.registry
+        registry.counter("flush.count").inc()
+        registry.counter("flush.freed_bytes").inc(report.freed_bytes)
+        registry.counter("flush.records_flushed").inc(report.records_flushed)
+        registry.counter("flush.postings_flushed").inc(report.postings_flushed)
+        registry.counter("flush.entries_flushed").inc(report.entries_flushed)
+        if not report.met_target:
+            registry.counter("flush.target_missed").inc()
+        self.obs.event(
+            "flush",
+            policy=self.name,
+            at=now,
+            target_bytes=report.target_bytes,
+            freed_bytes=report.freed_bytes,
+            records_flushed=report.records_flushed,
+            postings_flushed=report.postings_flushed,
+            entries_flushed=report.entries_flushed,
+            bytes_written_to_disk=report.bytes_written_to_disk,
+            phase_freed=dict(report.phase_freed),
+            wall_seconds=report.wall_seconds,
+        )
         return report
 
     # ------------------------------------------------------------------

@@ -26,6 +26,7 @@ from repro.core.policy import MemoryEngine
 from repro.engine.latency import QueryCostModel
 from repro.engine.queries import CombineMode, TopKQuery
 from repro.model.microblog import Microblog
+from repro.obs import Instrumentation
 from repro.storage.disk import DiskArchive
 from repro.storage.posting_list import Posting
 
@@ -81,11 +82,13 @@ class QueryExecutor:
         and_scan_depth: Optional[int] = None,
         and_disk_limit: Optional[int] = None,
         cost_model: Optional[QueryCostModel] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self._engine = engine
         self._disk = disk
         self._strict_and = strict_and
         self._cost = cost_model or QueryCostModel()
+        self._obs = obs if obs is not None else Instrumentation()
         #: Cap on how deep AND evaluation scans each key's in-memory and
         #: disk posting lists.  None = unbounded (exact).  Experiment
         #: harnesses set these to bound the cost of hot-key intersections,
@@ -123,7 +126,33 @@ class QueryExecutor:
         start = time.perf_counter()
         self._engine.note_query(query.keys, result.blog_ids, now)
         self.bookkeeping_seconds += time.perf_counter() - start
+        self._observe(query, result)
         return result
+
+    def _observe(self, query: TopKQuery, result: QueryResult) -> None:
+        """Per-mode hit/miss/disk-lookup counters plus one query event."""
+        mode = query.mode.value
+        registry = self._obs.registry
+        registry.counter(f"query.{mode}.{'hits' if result.memory_hit else 'misses'}").inc()
+        if result.disk_lookups:
+            registry.counter("query.disk_lookups").inc(result.disk_lookups)
+            registry.counter(f"query.{mode}.disk_lookups").inc(result.disk_lookups)
+        registry.histogram("query.simulated_latency_seconds").record(
+            result.simulated_latency
+        )
+        self._obs.event(
+            "query",
+            mode=mode,
+            keys=len(query.keys),
+            k=query.k,
+            hit=result.memory_hit,
+            exact=result.provably_exact,
+            disk_lookups=result.disk_lookups,
+            scan_depth=self._and_scan_depth if query.mode is CombineMode.AND else None,
+            answered=len(result.postings),
+            at=result.executed_at,
+            simulated_latency=result.simulated_latency,
+        )
 
     def materialize(self, result: QueryResult) -> list[Microblog]:
         """Fetch the record bodies of a result (memory first, then disk)."""
@@ -164,7 +193,12 @@ class QueryExecutor:
             return QueryResult(query, tuple(merged), True, True, 0, now)
         groups: list[list[Posting]] = []
         disk_lookups = 0
-        for lookup in lookups:
+        for lookup, top in zip(lookups, tops):
+            if top is not None:
+                # This key's in-memory top-k is provably complete: the
+                # union's top-k can only draw from it, so disk adds nothing.
+                groups.append(list(top))
+                continue
             groups.append(list(lookup.candidates))
             groups.append(self._disk.lookup(lookup.key, limit=query.k))
             disk_lookups += 1

@@ -45,8 +45,9 @@ class QueryStats:
             counters[1] += 1
         else:
             self.disk_reads += 1
-        if latency_seconds > 0.0:
-            self.latency.record(latency_seconds)
+        # Every sample counts: dropping zero-latency queries would bias
+        # latency_percentile() upward (hits cost ~0 under a null model).
+        self.latency.record(latency_seconds)
 
     @property
     def memory_misses(self) -> int:

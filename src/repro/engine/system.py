@@ -25,6 +25,8 @@ from repro.engine.queries import TopKQuery
 from repro.engine.stats import SystemStats
 from repro.errors import CapacityError
 from repro.model.microblog import Microblog
+from repro.obs import Instrumentation
+from repro.obs.runtime import get_active
 from repro.storage.disk import DiskArchive
 
 __all__ = ["MicroblogSystem"]
@@ -33,11 +35,21 @@ __all__ = ["MicroblogSystem"]
 class MicroblogSystem:
     """A complete microblogs data-management system (Figure 2)."""
 
-    def __init__(self, config: SystemConfig, strict_and: bool = False) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        strict_and: bool = False,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
         self.config = config
+        #: Instrumentation shared by every component of this system.  An
+        #: explicit argument wins; otherwise the enclosing
+        #: ``repro.obs.activated`` scope (experiment runs) or a private
+        #: registry (the library default).
+        self.obs = obs if obs is not None else (get_active() or Instrumentation())
         self.attribute = config.build_attribute()
         self.ranking = config.build_ranking()
-        self.disk = DiskArchive(config.memory_model, config.disk_cost)
+        self.disk = DiskArchive(config.memory_model, config.disk_cost, obs=self.obs)
         self.engine: MemoryEngine = create_engine(
             config.policy,
             model=config.memory_model,
@@ -47,6 +59,7 @@ class MicroblogSystem:
             capacity_bytes=config.memory_capacity_bytes,
             flush_fraction=config.flush_fraction,
             disk=self.disk,
+            obs=self.obs,
         )
         self.executor = QueryExecutor(
             self.engine,
@@ -54,6 +67,7 @@ class MicroblogSystem:
             strict_and=strict_and,
             and_scan_depth=config.and_scan_depth,
             and_disk_limit=config.and_disk_limit,
+            obs=self.obs,
         )
         self.clock = LogicalClock()
         self.stats = SystemStats()
@@ -106,6 +120,10 @@ class MicroblogSystem:
         self.stats.sample_memory(
             self.now, after, self.config.memory_capacity_bytes, kind="after"
         )
+        self.obs.registry.gauge("memory.bytes_used").set(after)
+        self.obs.registry.gauge("memory.capacity_bytes").set(
+            self.config.memory_capacity_bytes
+        )
         if report.freed_bytes <= 0 and after >= self.config.memory_capacity_bytes:
             raise CapacityError(
                 f"flush freed nothing at {after} bytes used of "
@@ -139,6 +157,12 @@ class MicroblogSystem:
         """Change k at run time (Section IV-C); applies from the next
         flush cycle onward."""
         self.engine.set_k(k)
+
+    def snapshot(self) -> dict:
+        """Point-in-time view of the instrumentation registry: every
+        counter, gauge, and histogram this system's components recorded
+        (flush spans, per-mode query hits/misses, disk I/O, ...)."""
+        return self.obs.registry.snapshot()
 
     def hit_ratio(self) -> float:
         return self.stats.queries.hit_ratio

@@ -20,12 +20,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.config import SystemConfig
 from repro.engine.queries import CombineMode
 from repro.engine.system import MicroblogSystem
 from repro.engine.stats import QueryStats
 from repro.errors import ConfigurationError
+from repro.obs import Instrumentation, JsonlSink
 from repro.experiments.scale import (
     PAPER_FLUSH_BUDGET,
     PAPER_K,
@@ -62,7 +65,7 @@ class TrialSpec:
     #: ablation.
     strict_and: bool = False
 
-    def build_system(self) -> MicroblogSystem:
+    def build_system(self, obs: Optional[Instrumentation] = None) -> MicroblogSystem:
         config = SystemConfig(
             policy=self.policy,
             attribute=self.attribute,
@@ -73,7 +76,7 @@ class TrialSpec:
             and_disk_limit=max(self.scale.and_disk_limit, self.k),
             tile_side_degrees=self.scale.tile_side_degrees,
         )
-        return MicroblogSystem(config, strict_and=self.strict_and)
+        return MicroblogSystem(config, strict_and=self.strict_and, obs=obs)
 
     def build_stream(self) -> MicroblogStream:
         kwargs = dict(
@@ -134,14 +137,46 @@ def _warm_up(system: MicroblogSystem, stream: MicroblogStream, spec: TrialSpec) 
     return warmed
 
 
-def run_trial(spec: TrialSpec) -> TrialResult:
-    """Run one steady-state trial and collect the paper's metrics."""
+def _trial_obs(metrics_path: Optional[Union[str, Path]]) -> Optional[Instrumentation]:
+    """A JSONL-sinked Instrumentation when a metrics path was requested."""
+    if metrics_path is None:
+        return None
+    return Instrumentation(sink=JsonlSink(metrics_path))
+
+
+def _finish_trial_metrics(
+    system: MicroblogSystem, spec: TrialSpec, obs: Optional[Instrumentation]
+) -> None:
+    """Append the end-of-trial registry snapshot and release the sink."""
+    if obs is None:
+        return
+    obs.event(
+        "trial_snapshot",
+        policy=spec.policy,
+        attribute=spec.attribute,
+        k=spec.k,
+        seed=spec.seed,
+        metrics=system.snapshot(),
+    )
+    obs.close()
+
+
+def run_trial(
+    spec: TrialSpec, metrics_path: Optional[Union[str, Path]] = None
+) -> TrialResult:
+    """Run one steady-state trial and collect the paper's metrics.
+
+    ``metrics_path`` (optional) streams every instrumentation event of
+    the trial — flush spans, query events, the final registry snapshot —
+    to a JSONL file alongside whatever tables the caller exports.
+    """
     if spec.attribute in ("user", "spatial") and spec.workload_mode not in (
         "correlated",
         "uniform",
     ):
         raise ConfigurationError(f"bad workload mode {spec.workload_mode!r}")
-    system = spec.build_system()
+    obs = _trial_obs(metrics_path)
+    system = spec.build_system(obs=obs)
     stream = spec.build_stream()
     queries = spec.build_queries(stream)
 
@@ -174,6 +209,7 @@ def run_trial(spec: TrialSpec) -> TrialResult:
     denom = d_insert + d_flush + d_book
     reports = system.flush_reports()[flushes0:]
     qstats = system.stats.queries
+    _finish_trial_metrics(system, spec, obs)
     return TrialResult(
         spec=spec,
         hit_ratio=qstats.hit_ratio,
@@ -199,6 +235,7 @@ def run_trial(spec: TrialSpec) -> TrialResult:
 def run_digestion_stress(
     spec: TrialSpec,
     query_rate_per_wall_second: float = PAPER_QUERY_RATE_PER_S,
+    metrics_path: Optional[Union[str, Path]] = None,
 ) -> TrialResult:
     """Figure 10(b): unbounded ingestion with wall-clock-paced queries.
 
@@ -208,7 +245,8 @@ def run_digestion_stress(
     more queries per ingested record — the feedback loop that makes
     per-item bookkeeping (LRU) collapse under combined load.
     """
-    system = spec.build_system()
+    obs = _trial_obs(metrics_path)
+    system = spec.build_system(obs=obs)
     stream = spec.build_stream()
     queries = spec.build_queries(stream)
 
@@ -258,6 +296,7 @@ def run_digestion_stress(
     d_book = system.executor.bookkeeping_seconds - book0
     denom = d_insert + d_flush + d_book
     qstats = system.stats.queries
+    _finish_trial_metrics(system, spec, obs)
     return TrialResult(
         spec=spec,
         hit_ratio=qstats.hit_ratio,

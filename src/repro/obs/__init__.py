@@ -1,0 +1,32 @@
+"""Observability: metrics, spans, and structured events (``repro.obs``).
+
+The instrumentation substrate every performance PR reports against — see
+``docs/OBSERVABILITY.md`` for the metric and event schema.  The package
+is dependency-free and always-on: components hold an
+:class:`Instrumentation` (registry + sink) and record into it; the
+default :class:`NullSink` makes the event side free until an entry point
+opts in via :func:`activated` or an explicit sink.
+"""
+
+from repro.obs.events import EventSink, JsonlSink, ListSink, NullSink
+from repro.obs.export import to_json, to_prometheus_text
+from repro.obs.instrument import Instrumentation
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.runtime import activated, get_active, set_active
+
+__all__ = [
+    "Counter",
+    "EventSink",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "JsonlSink",
+    "ListSink",
+    "MetricsRegistry",
+    "NullSink",
+    "activated",
+    "get_active",
+    "set_active",
+    "to_json",
+    "to_prometheus_text",
+]

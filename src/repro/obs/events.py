@@ -1,0 +1,85 @@
+"""Structured event sinks: where instrumentation events go.
+
+An *event* is one flat dict (``{"type": "flush", "policy": ..., ...}``)
+describing something that happened — a flush phase, a query, a disk
+write.  Sinks decide what to do with it:
+
+* :class:`NullSink` — drop it (the default; instrumentation stays on but
+  costs only the dict build);
+* :class:`ListSink` — keep it in memory (tests, interactive inspection);
+* :class:`JsonlSink` — append it as one JSON line to a file, the format
+  the experiment harness dumps alongside its CSVs.
+
+Values must be JSON-serialisable; emitters stick to numbers, strings,
+bools, and small dicts of those.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Optional, Union
+
+__all__ = ["EventSink", "NullSink", "ListSink", "JsonlSink"]
+
+
+class EventSink:
+    """Base sink: subclasses override :meth:`emit`."""
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources; emitting afterwards is an error."""
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullSink(EventSink):
+    """Discards every event."""
+
+    def emit(self, event: dict) -> None:
+        pass
+
+
+class ListSink(EventSink):
+    """Buffers events in memory, newest last."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def of_type(self, type_: str) -> list[dict]:
+        return [e for e in self.events if e.get("type") == type_]
+
+
+class JsonlSink(EventSink):
+    """Appends each event as one JSON line to ``path``.
+
+    The file is opened lazily on the first emit (a sink configured but
+    never hit leaves no file behind) and flushed per line so a crashed
+    run still yields a readable prefix.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle: Optional[IO[str]] = None
+
+    def emit(self, event: dict) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(event, sort_keys=True))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -1,0 +1,89 @@
+"""The Instrumentation facade: one registry + one sink + span timing.
+
+Every instrumented component (system, engine, executor, disk archive)
+holds an :class:`Instrumentation` and calls three things on it:
+
+* ``obs.registry.counter/gauge/histogram(name)`` — aggregate metrics;
+* ``obs.event(type, **fields)`` — one structured event to the sink;
+* ``with obs.span(name, **fields):`` — time a block, recording the
+  duration in the ``span.<name>.seconds`` histogram and emitting a
+  ``span`` event that carries its parent span's name, so nested spans
+  (``flush`` → ``flush.phase1-regular``) can be re-assembled from the
+  event stream.
+
+Construction is cheap and the default sink is :class:`NullSink`, so
+components can instrument unconditionally; turning observability "on"
+means handing them a shared Instrumentation with a real sink.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.events import EventSink, NullSink
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Instrumentation"]
+
+
+class Instrumentation:
+    """A metrics registry and an event sink bound together."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        sink: Optional[EventSink] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.sink = sink if sink is not None else NullSink()
+        self._span_stack: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def event(self, type_: str, **fields) -> None:
+        """Emit one structured event to the sink."""
+        event = {"type": type_}
+        event.update(fields)
+        self.sink.emit(event)
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **fields) -> Iterator[None]:
+        """Time a block of work.
+
+        The wall-clock duration lands in the ``span.<name>.seconds``
+        histogram; the emitted ``span`` event records ``parent`` (the
+        enclosing span's name, or None at top level) plus any extra
+        ``fields``.
+        """
+        parent = self._span_stack[-1] if self._span_stack else None
+        self._span_stack.append(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._span_stack.pop()
+            self.registry.histogram(f"span.{name}.seconds").record(elapsed)
+            self.event("span", name=name, parent=parent, seconds=elapsed, **fields)
+
+    @property
+    def current_span(self) -> Optional[str]:
+        return self._span_stack[-1] if self._span_stack else None
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+    def close(self) -> None:
+        self.sink.close()

@@ -1,0 +1,189 @@
+"""Named metric primitives: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of metrics created on
+first use — ``registry.counter("flush.count").inc()`` — so call sites
+never coordinate about declaration order.  Everything is plain Python
+with no dependencies; a full registry snapshot is a JSON-serialisable
+dict, which is what :meth:`~repro.engine.system.MicroblogSystem.snapshot`
+and the exporters in :mod:`repro.obs.export` build on.
+
+Metric names are dotted paths (``"flush.phase1-regular.freed_bytes"``).
+The dots are purely a naming convention here; the Prometheus exporter
+flattens them to underscores.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing integer-or-float count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (memory bytes, queue depth)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Log₂-bucketed distribution of non-negative samples.
+
+    Tracks count/sum/min/max exactly; the bucket layout (powers of two
+    from ``scale`` upward) bounds memory at O(64) counters per histogram
+    no matter how many samples arrive, mirroring the approach of
+    :class:`repro.engine.latency.LatencyHistogram` but generalised to any
+    unit (seconds, bytes, postings).
+    """
+
+    _BUCKETS = 64
+
+    __slots__ = ("scale", "count", "total", "min", "max", "_counts")
+
+    def __init__(self, scale: float = 1e-6) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = scale
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self._counts = [0] * self._BUCKETS
+
+    def _bucket(self, value: float) -> int:
+        if value <= self.scale:
+            return 0
+        index = int(math.log2(value / self.scale))
+        return min(index, self._BUCKETS - 1)
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram samples must be >= 0, got {value}")
+        self._counts[self._bucket(value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket holding the p-th percentile."""
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"p must be in (0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        threshold = math.ceil(self.count * p / 100.0)
+        running = 0
+        for index, count in enumerate(self._counts):
+            running += count
+            if running >= threshold:
+                return self.scale * (2.0 ** (index + 1))
+        return self.max  # pragma: no cover - unreachable
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": 0.0 if self.count == 0 else self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+class MetricsRegistry:
+    """A flat, create-on-first-use namespace of named metrics."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Accessors (get-or-create)
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str, scale: float = 1e-6) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(scale)
+        return metric
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __contains__(self, name: str) -> bool:
+        return (
+            name in self._counters
+            or name in self._gauges
+            or name in self._histograms
+        )
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable view of every metric, names sorted."""
+        return {
+            "counters": {
+                name: self._counters[name].value for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (measurement-window boundaries)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

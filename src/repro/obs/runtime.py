@@ -1,0 +1,45 @@
+"""Process-wide active Instrumentation (opt-in, explicitly scoped).
+
+Experiment entry points (the CLI's ``run --metrics-out``, the runner's
+``metrics_path``) want every system built underneath them — often one per
+sweep point — to share one registry and one JSONL sink without threading
+an ``obs`` argument through every figure function.  They wrap the run in
+:func:`activated`; :class:`~repro.engine.system.MicroblogSystem` picks up
+the active Instrumentation when none is passed explicitly.
+
+Outside any :func:`activated` scope there is no active Instrumentation
+and each system gets its own private registry, which is what unit tests
+and library users want by default.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.instrument import Instrumentation
+
+__all__ = ["get_active", "set_active", "activated"]
+
+_active: Optional[Instrumentation] = None
+
+
+def get_active() -> Optional[Instrumentation]:
+    """The Instrumentation of the enclosing :func:`activated` scope."""
+    return _active
+
+
+def set_active(obs: Optional[Instrumentation]) -> None:
+    global _active
+    _active = obs
+
+
+@contextmanager
+def activated(obs: Instrumentation) -> Iterator[Instrumentation]:
+    """Make ``obs`` the active Instrumentation for the duration."""
+    previous = _active
+    set_active(obs)
+    try:
+        yield obs
+    finally:
+        set_active(previous)

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Optional
 
 from repro.model.microblog import Microblog
+from repro.obs import Instrumentation
 from repro.storage.memory_model import MemoryModel
 from repro.storage.posting_list import Posting
 
@@ -74,6 +75,7 @@ class DiskArchive:
         self,
         model: MemoryModel,
         cost_model: Optional[DiskCostModel] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self._model = model
         self._cost = cost_model or DiskCostModel()
@@ -82,6 +84,7 @@ class DiskArchive:
         #: same layout as the in-memory posting lists.
         self._index: dict[Hashable, list[Posting]] = {}
         self.stats = DiskStats()
+        self.obs = obs if obs is not None else Instrumentation()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -139,6 +142,11 @@ class DiskArchive:
         self.stats.postings_written += npostings
         self.stats.bytes_written += nbytes
         self.stats.simulated_io_seconds += self._cost.write_cost(nbytes)
+        registry = self.obs.registry
+        registry.counter("disk.flush_batches").inc()
+        registry.counter("disk.records_written").inc(nrecords)
+        registry.counter("disk.postings_written").inc(npostings)
+        registry.counter("disk.bytes_written").inc(nbytes)
         return nbytes
 
     # ------------------------------------------------------------------
@@ -161,6 +169,9 @@ class DiskArchive:
         self.stats.index_lookups += 1
         self.stats.bytes_read += nbytes
         self.stats.simulated_io_seconds += self._cost.read_cost(nbytes)
+        registry = self.obs.registry
+        registry.counter("disk.index_lookups").inc()
+        registry.counter("disk.bytes_read").inc(nbytes)
         return result
 
     def fetch_record(self, blog_id: int) -> Optional[Microblog]:
@@ -172,6 +183,9 @@ class DiskArchive:
         self.stats.record_fetches += 1
         self.stats.bytes_read += nbytes
         self.stats.simulated_io_seconds += self._cost.read_cost(nbytes)
+        registry = self.obs.registry
+        registry.counter("disk.record_fetches").inc()
+        registry.counter("disk.bytes_read").inc(nbytes)
         return record
 
     def peek_record(self, blog_id: int) -> Optional[Microblog]:

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -32,6 +34,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.policy == "kflushing"
+        assert args.format == "json"
+        assert args.out is None
+
+    def test_run_metrics_out(self):
+        args = build_parser().parse_args(["run", "--metrics-out", "m.jsonl"])
+        assert args.metrics_out == "m.jsonl"
+
 
 class TestExecution:
     def test_list_command(self, capsys):
@@ -45,3 +57,56 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "fifo" in out
         assert "kflushing" in out
+
+    def test_stats_command_emits_snapshot(self, capsys, tmp_path):
+        events = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "stats",
+                    "--records",
+                    "12000",
+                    "--queries",
+                    "600",
+                    "--capacity-bytes",
+                    "1000000",
+                    "--events-out",
+                    str(events),
+                ]
+            )
+            == 0
+        )
+        snap = json.loads(capsys.readouterr().out)
+        counters = snap["counters"]
+        # Per-phase flush attribution, per-mode query counters, disk I/O.
+        assert counters["flush.count"] > 0
+        assert counters["flush.phase1-regular.freed_bytes"] > 0
+        assert any(name.startswith("query.single.") for name in counters)
+        assert counters["disk.flush_batches"] > 0
+        assert "span.flush.seconds" in snap["histograms"]
+        lines = [json.loads(line) for line in events.read_text().splitlines()]
+        assert {"flush", "query", "span"} <= {e["type"] for e in lines}
+
+    def test_stats_prometheus_format_to_file(self, capsys, tmp_path):
+        out = tmp_path / "metrics.prom"
+        assert (
+            main(
+                [
+                    "stats",
+                    "--records",
+                    "6000",
+                    "--queries",
+                    "300",
+                    "--capacity-bytes",
+                    "1000000",
+                    "--format",
+                    "prom",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        text = out.read_text()
+        assert "repro_flush_count_total" in text
+        assert "# TYPE" in text

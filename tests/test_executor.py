@@ -99,9 +99,24 @@ class TestOrQueries:
         eng.insert(make_blog(keywords=("b",)))
         result = ex.execute(OrQuery(["a", "b"], k=3), now=1e6)
         assert not result.memory_hit
-        assert result.disk_lookups == 2
+        # Only the short key pays disk: "a" holds a provable top-3 in
+        # memory, so the union's top-3 cannot need its disk postings.
+        assert result.disk_lookups == 1
         # Still exact: the union's top-3 are the three newest overall.
         assert len(result.postings) == 3
+
+    def test_or_miss_skips_disk_for_provable_keys(self, setup):
+        """Regression: the OR miss path used to pay a disk lookup for
+        every key, including those whose in-memory top-k was provable."""
+        eng, disk, ex = setup
+        for blog in make_blogs(4, keywords=("a",)):
+            eng.insert(blog)
+        eng.insert(make_blog(keywords=("b",)))
+        before = disk.stats.index_lookups
+        result = ex.execute(OrQuery(["a", "b"], k=3), now=1e6)
+        assert result.disk_lookups == 1
+        # The reported count matches the disk's own ledger.
+        assert disk.stats.index_lookups - before == 1
 
     def test_or_answer_is_true_union_topk(self, setup):
         eng, _, ex = setup

@@ -224,6 +224,50 @@ class TestPhase3:
         assert lookup.provable_top(3) is not None
 
 
+class TestFullEscalation:
+    def test_phase_freed_has_all_three_phases(self, model, disk):
+        """A flush that escalates to Phase 3 attributes freed bytes to
+        every phase: regular, aggressive, and forced."""
+        eng = engine(model, disk, k=3, capacity=100_000, flush_fraction=1.0)
+        # Overflow entry for Phase 1, under-k entries for Phase 2, and
+        # exactly-k entries only Phase 3 will take.
+        for blog in make_blogs(6, keywords=("hot",)):
+            eng.insert(blog)
+        for i in range(5):
+            eng.insert(make_blog(keywords=(f"rare{i}",)))
+        for i in range(5):
+            for blog in make_blogs(3, keywords=(f"mid{i}",)):
+                eng.insert(blog)
+        report = eng.run_flush(now=1e6)
+        assert set(report.phase_freed) == {
+            "phase1-regular",
+            "phase2-aggressive",
+            "phase3-forced",
+        }
+        assert all(freed > 0 for freed in report.phase_freed.values())
+        assert sum(report.phase_freed.values()) == report.freed_bytes
+        eng.check_integrity()
+
+    def test_phase_freed_composition_under_mk(self, model, disk):
+        eng = KFlushingEngine(
+            mk=True, **engine_kwargs(model, disk, k=3, flush_fraction=1.0)
+        )
+        for blog in make_blogs(6, keywords=("hot",)):
+            eng.insert(blog)
+        for i in range(5):
+            eng.insert(make_blog(keywords=(f"rare{i}",)))
+        for i in range(5):
+            for blog in make_blogs(3, keywords=(f"mid{i}",)):
+                eng.insert(blog)
+        report = eng.run_flush(now=1e6)
+        assert set(report.phase_freed) == {
+            "phase1-regular",
+            "phase2-aggressive",
+            "phase3-forced",
+        }
+        assert sum(report.phase_freed.values()) == report.freed_bytes
+
+
 class TestBudget:
     def test_flush_meets_budget(self, model, disk):
         eng = engine(model, disk, k=3, capacity=50_000, flush_fraction=0.25)

@@ -1,0 +1,150 @@
+"""Instrumentation wiring: the obs subsystem observed through the stack."""
+
+import json
+
+from repro.config import SystemConfig
+from repro.engine.queries import AndQuery, KeywordQuery, OrQuery
+from repro.engine.system import MicroblogSystem
+from repro.experiments.runner import TrialSpec, run_trial
+from repro.experiments.scale import TINY
+from repro.obs import Instrumentation, ListSink, activated
+from tests.conftest import make_blog, make_blogs
+
+
+def observed_system(**overrides):
+    defaults = dict(policy="kflushing", k=3, memory_capacity_bytes=5_000)
+    defaults.update(overrides)
+    sink = ListSink()
+    obs = Instrumentation(sink=sink)
+    system = MicroblogSystem(SystemConfig(**defaults), obs=obs)
+    return system, obs, sink
+
+
+class TestFlushInstrumentation:
+    def test_flush_emits_span_and_event(self):
+        system, obs, sink = observed_system()
+        for blog in make_blogs(60):
+            system.ingest(blog)
+        assert len(system.flush_reports()) >= 1
+        flush_events = sink.of_type("flush")
+        assert len(flush_events) == len(system.flush_reports())
+        event = flush_events[0]
+        assert event["policy"] == "kflushing"
+        assert event["freed_bytes"] > 0
+        assert "phase1-regular" in event["phase_freed"]
+        spans = {e["name"] for e in sink.of_type("span")}
+        assert "flush" in spans
+        assert "flush.phase1-regular" in spans
+
+    def test_phase_spans_nest_under_flush(self):
+        system, obs, sink = observed_system()
+        for blog in make_blogs(60):
+            system.ingest(blog)
+        parents = {
+            e["name"]: e["parent"]
+            for e in sink.of_type("span")
+            if e["name"].startswith("flush.")
+        }
+        assert parents, "expected per-phase spans"
+        assert set(parents.values()) == {"flush"}
+
+    def test_phase_counters_sum_to_total_freed(self):
+        system, obs, sink = observed_system()
+        for blog in make_blogs(120):
+            system.ingest(blog)
+        counters = system.snapshot()["counters"]
+        total = counters["flush.freed_bytes"]
+        by_phase = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("flush.phase") and name.endswith(".freed_bytes")
+        )
+        assert total > 0
+        assert by_phase == total
+
+    def test_flush_count_matches_reports(self):
+        system, obs, sink = observed_system()
+        for blog in make_blogs(120):
+            system.ingest(blog)
+        assert system.snapshot()["counters"]["flush.count"] == len(
+            system.flush_reports()
+        )
+
+
+class TestQueryInstrumentation:
+    def test_per_mode_hit_miss_counters(self):
+        system, obs, sink = observed_system(memory_capacity_bytes=60_000)
+        for blog in make_blogs(6, keywords=("hot",)):
+            system.ingest(blog)
+        system.search(KeywordQuery("hot", k=3))   # hit
+        system.search(KeywordQuery("cold", k=3))  # miss -> disk
+        system.search(OrQuery(["hot", "cold"], k=3))
+        system.search(AndQuery(["hot", "cold"], k=3))
+        counters = system.snapshot()["counters"]
+        assert counters["query.single.hits"] == 1
+        assert counters["query.single.misses"] == 1
+        assert counters["query.or.misses"] == 1
+        assert counters["query.disk_lookups"] >= 2
+        events = sink.of_type("query")
+        assert len(events) == 4
+        assert {e["mode"] for e in events} == {"single", "or", "and"}
+
+    def test_disk_counters_track_stats(self):
+        system, obs, sink = observed_system(memory_capacity_bytes=60_000)
+        system.ingest(make_blog(keywords=("x",)))
+        system.search(KeywordQuery("x", k=3))  # miss: only 1 posting
+        counters = system.snapshot()["counters"]
+        assert counters["disk.index_lookups"] == system.disk.stats.index_lookups
+        assert counters["disk.index_lookups"] >= 1
+
+    def test_query_latency_histogram_counts_every_query(self):
+        system, obs, sink = observed_system(memory_capacity_bytes=60_000)
+        for blog in make_blogs(6, keywords=("hot",)):
+            system.ingest(blog)
+        for _ in range(5):
+            system.search(KeywordQuery("hot", k=3))
+        hist = system.snapshot()["histograms"]["query.simulated_latency_seconds"]
+        assert hist["count"] == 5
+
+
+class TestSnapshotAndRuntime:
+    def test_snapshot_is_json_serialisable(self):
+        system, obs, sink = observed_system()
+        for blog in make_blogs(60):
+            system.ingest(blog)
+        snap = system.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_system_adopts_active_instrumentation(self):
+        obs = Instrumentation(sink=ListSink())
+        with activated(obs):
+            system = MicroblogSystem(
+                SystemConfig(policy="kflushing", k=3, memory_capacity_bytes=5_000)
+            )
+        assert system.obs is obs
+
+    def test_explicit_obs_beats_active(self):
+        scoped = Instrumentation()
+        explicit = Instrumentation()
+        with activated(scoped):
+            system = MicroblogSystem(
+                SystemConfig(policy="kflushing", k=3, memory_capacity_bytes=5_000),
+                obs=explicit,
+            )
+        assert system.obs is explicit
+
+
+class TestRunnerMetrics:
+    def test_run_trial_writes_metrics_jsonl(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        spec = TrialSpec(policy="kflushing", scale=TINY, seed=3)
+        run_trial(spec, metrics_path=path)
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        types = {e["type"] for e in events}
+        assert {"flush", "query", "span", "trial_snapshot"} <= types
+        snapshot = [e for e in events if e["type"] == "trial_snapshot"][-1]
+        assert snapshot["policy"] == "kflushing"
+        counters = snapshot["metrics"]["counters"]
+        assert counters["flush.count"] > 0
+        assert any(name.startswith("query.") for name in counters)
+        assert any(name.startswith("disk.") for name in counters)

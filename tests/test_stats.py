@@ -31,6 +31,24 @@ class TestQueryStats:
     def test_idle_ratio_is_zero(self):
         assert QueryStats().hit_ratio == 0.0
 
+    def test_latency_histogram_counts_every_query(self):
+        """Regression: zero-latency samples used to be dropped, biasing
+        latency_percentile() upward (computed only over nonzero queries)."""
+        stats = QueryStats()
+        stats.record(CombineMode.SINGLE, True, latency_seconds=0.0)
+        stats.record(CombineMode.SINGLE, True, latency_seconds=0.0)
+        stats.record(CombineMode.SINGLE, False, latency_seconds=0.5)
+        assert len(stats.latency) == stats.queries == 3
+
+    def test_zero_latency_hits_pull_percentiles_down(self):
+        stats = QueryStats()
+        for _ in range(9):
+            stats.record(CombineMode.SINGLE, True, latency_seconds=0.0)
+        stats.record(CombineMode.SINGLE, False, latency_seconds=0.5)
+        # With 9 of 10 samples at ~0, the median must sit in the lowest
+        # bucket, far below the single disk-visit latency.
+        assert stats.latency.percentile(50.0) < 0.5
+
 
 class TestIngestStats:
     def test_digestion_rate(self):

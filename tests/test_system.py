@@ -40,6 +40,23 @@ class TestIngest:
         kinds = [p.kind for p in system.stats.timeline]
         assert "before" in kinds and "after" in kinds
 
+    def test_timeline_before_after_pairs_bracket_each_flush(self):
+        system = tiny_system(memory_capacity_bytes=5_000)
+        for blog in make_blogs(120):
+            system.ingest(blog)
+        flush_samples = [
+            p for p in system.stats.timeline if p.kind in ("before", "after")
+        ]
+        # Every flush contributes exactly one before/after pair, in order.
+        assert len(flush_samples) == 2 * len(system.flush_reports())
+        for before, after in zip(flush_samples[::2], flush_samples[1::2]):
+            assert (before.kind, after.kind) == ("before", "after")
+            assert before.time == after.time
+            assert after.bytes_used < before.bytes_used
+        # The "before" samples sit at (or above) the trigger threshold.
+        capacity = system.config.memory_capacity_bytes
+        assert all(p.bytes_used >= capacity for p in flush_samples[::2])
+
     def test_oversized_records_survive_via_immediate_flush(self):
         # A record larger than the whole budget triggers a flush right
         # after its insert; the policy evicts it and the system keeps

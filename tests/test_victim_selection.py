@@ -2,11 +2,36 @@
 
 import pytest
 
+from repro.core.phases import entry_flush_cost
 from repro.core.victim_selection import select_victims_heap, select_victims_sort
 
 
 def cands(*triples):
     return [(float(ts), cost, name) for ts, cost, name in triples]
+
+
+class TestEntryFlushCost:
+    def test_fractional_record_share_rounds_up(self):
+        """Regression: Phases 2/3 used int(), truncating the fractional
+        mean-record-share and under-estimating every victim's cost."""
+        assert entry_flush_cost(3, 16, 10.5) == 16 + 32  # not 16 + 31
+        assert entry_flush_cost(2, 0, 10.6) == 22  # not 21
+
+    def test_integral_share_unchanged(self):
+        assert entry_flush_cost(4, 8, 12.0) == 8 + 48
+
+    def test_ceil_estimates_select_minimal_victim_set(self):
+        """With ceil'd costs the heap stops as soon as the budget is
+        covered; the truncated estimates needed one victim more."""
+        per_posting = 10.6
+        candidates = cands(
+            *[(i, entry_flush_cost(2, 0, per_posting), f"k{i}") for i in range(4)]
+        )
+        victims = select_victims_heap(candidates, 44)
+        # 2 victims at ceil(21.2)=22 bytes cover 44; the pre-fix estimate
+        # of int(21.2)=21 would have needed a third.
+        assert len(victims) == 2
+        assert sum(c[1] for c in victims) >= 44
 
 
 class TestHeapSelection:
