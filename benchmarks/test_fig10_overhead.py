@@ -20,8 +20,15 @@ from repro.experiments.figures import fig10_overhead
 
 
 def test_fig10_overhead(benchmark, preset, record_figure):
+    # Panel (b) is a wall-clock measurement, so single-seed runs are
+    # noisy at tiny scale; averaging the digestion rate over 3 seeds
+    # keeps the ordering assertions below stable.
     figure = benchmark.pedantic(
-        fig10_overhead, args=(preset,), rounds=1, iterations=1
+        fig10_overhead,
+        args=(preset,),
+        kwargs={"digestion_seeds": 3},
+        rounds=1,
+        iterations=1,
     )
     record_figure(figure)
     by_id = {panel.panel_id: panel for panel in figure.panels}

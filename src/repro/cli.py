@@ -4,10 +4,17 @@ Subcommands
 -----------
 ``list``
     Show the available figure experiments and scale presets.
-``run --figure fig7 [--scale small] [--seed 42] [--metrics-out m.jsonl]``
+``run --figure fig7 [--scale small] [--seed 42] [--jobs 4] [--metrics-out m.jsonl]``
     Run one figure experiment (or ``all``) and print its tables;
-    ``--metrics-out`` streams every instrumentation event of the run
-    (flush spans, query events, final snapshot) to a JSONL file.
+    ``--jobs`` fans the figure's trial grid out over worker processes
+    (results are identical to a serial run); ``--metrics-out`` streams
+    every instrumentation event of the run (flush spans, query events,
+    final snapshot) to a JSONL file and forces serial execution, since
+    worker-process events do not reach the parent's sink.
+``bench [--preset tiny] [--seed 42] [--jobs 2] [--out BENCH_PR2.json]``
+    Run the performance benchmark suites (k-filled sampling, digestion
+    rate, flush cost, sweep wall-clock) and write the perf-trajectory
+    JSON (see docs/PERFORMANCE.md).
 ``stats``
     Run a tiny synthetic workload and dump the instrumentation registry
     (flush phase spans, per-mode query counters, disk I/O) as JSON or
@@ -20,6 +27,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from pathlib import Path
@@ -27,7 +35,9 @@ from typing import Optional, Sequence
 
 from repro.config import SystemConfig
 from repro.engine.system import MicroblogSystem
+from repro.experiments.bench import ALL_SUITES, run_bench
 from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.parallel import resolve_jobs
 from repro.experiments.report import print_figure
 from repro.experiments.scale import PRESETS, SMALL
 from repro.obs import Instrumentation, JsonlSink, activated, to_json, to_prometheus_text
@@ -46,22 +56,39 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _figure_kwargs(fn, seed: int, jobs: int) -> dict:
+    """Keyword arguments for one figure function.
+
+    ``jobs`` is forwarded only to figures that support parallel trial
+    grids (the extension experiments, for instance, run serially).
+    """
+    kwargs = {"seed": seed}
+    if jobs > 1 and "jobs" in inspect.signature(fn).parameters:
+        kwargs["jobs"] = jobs
+    return kwargs
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     preset = PRESETS[args.scale]
     names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
     obs: Optional[Instrumentation] = None
+    jobs = resolve_jobs(args.jobs)
     if args.metrics_out:
         obs = Instrumentation(sink=JsonlSink(args.metrics_out))
+        if jobs > 1:
+            print("[--metrics-out forces serial execution; ignoring --jobs]")
+            jobs = 1
     for name in names:
         fn = ALL_FIGURES[name]
+        kwargs = _figure_kwargs(fn, args.seed, jobs)
         start = time.perf_counter()
         if obs is not None:
             # Every system built inside the figure shares this registry
             # and streams its events to the JSONL sink.
             with activated(obs):
-                figure = fn(preset, seed=args.seed)
+                figure = fn(preset, **kwargs)
         else:
-            figure = fn(preset, seed=args.seed)
+            figure = fn(preset, **kwargs)
         elapsed = time.perf_counter() - start
         print_figure(figure)
         print(f"[{name} completed in {elapsed:.1f}s at scale={preset.name}]\n")
@@ -69,6 +96,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         obs.event("run_snapshot", figures=names, metrics=obs.registry.snapshot())
         obs.close()
         print(f"[metrics written to {args.metrics_out}]")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    start = time.perf_counter()
+    records = run_bench(
+        preset=args.preset,
+        seed=args.seed,
+        out=args.out,
+        jobs=resolve_jobs(args.jobs),
+        suites=args.suites,
+    )
+    elapsed = time.perf_counter() - start
+    for record in records:
+        print(
+            f"  {record.metric:32s} {record.policy:13s} "
+            f"{record.value:12.2f} {record.unit}"
+        )
+    print(f"[{len(records)} measurements written to {args.out} in {elapsed:.1f}s]")
     return 0
 
 
@@ -169,12 +215,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=42, help="workload seed")
     run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the trial grid (default: REPRO_JOBS env "
+            "or 1; negative = all cores); results match a serial run"
+        ),
+    )
+    run.add_argument(
         "--metrics-out",
         default=None,
         metavar="PATH",
         help="stream instrumentation events of the run to this JSONL file",
     )
     run.set_defaults(fn=_cmd_run)
+
+    bench = sub.add_parser(
+        "bench", help="run the performance benchmark suites"
+    )
+    bench.add_argument(
+        "--preset", default="tiny", choices=sorted(PRESETS), help="workload preset"
+    )
+    bench.add_argument("--seed", type=int, default=42, help="workload seed")
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="worker processes for the sweep wall-clock suite",
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_PR2.json",
+        metavar="PATH",
+        help="where to write the benchmark records (JSON)",
+    )
+    bench.add_argument(
+        "--suites",
+        nargs="+",
+        default=None,
+        choices=sorted(ALL_SUITES),
+        help="subset of suites to run (default: all)",
+    )
+    bench.set_defaults(fn=_cmd_bench)
 
     stats = sub.add_parser(
         "stats", help="run a tiny workload and dump the metrics registry"

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Optional, Sequence
 
+from repro.core.flush_cache import FlushCycleCache
 from repro.core.phases import FlushContext, run_phase1, run_phase2, run_phase3
 from repro.core.policy import FlushReport, LookupResult, MemoryEngine
 from repro.model.microblog import Microblog
@@ -24,6 +25,11 @@ __all__ = ["KFlushingEngine"]
 
 class KFlushingEngine(MemoryEngine):
     """kFlushing (and kFlushing-MK when ``mk=True``)."""
+
+    #: Class-level switch for the per-flush :class:`FlushCycleCache`.
+    #: Always on in production; the differential tests flip it off to run
+    #: the brute-force reference path and assert bit-identical results.
+    use_flush_cache: bool = True
 
     def __init__(self, *, mk: bool = False, max_phase: int = 3, **kwargs) -> None:
         super().__init__(**kwargs)
@@ -41,11 +47,10 @@ class KFlushingEngine(MemoryEngine):
         #: Best sort key ever evicted by whole-entry removal; seeds the
         #: completeness floor of entries (re-)created afterwards.
         self.global_floor: SortKey = MIN_SORT_KEY
-        #: Per-flush memo of each entry's top-k id set, used by the MK
-        #: Phase 1 rule.  Valid for the duration of one flush because
-        #: Phase 1 trims only *beyond*-top-k postings (the top-k of every
-        #: entry is invariant while the cache is live).
-        self._flush_topk_ids: Optional[dict[Hashable, frozenset[int]]] = None
+        #: Per-flush memo of top-k id sets, entry id membership, and the
+        #: Phase 3 victim snapshot (see :mod:`repro.core.flush_cache`).
+        #: Non-None only while a flush is running.
+        self.flush_cache: Optional[FlushCycleCache] = None
 
     @property
     def mk_enabled(self) -> bool:
@@ -73,7 +78,10 @@ class KFlushingEngine(MemoryEngine):
         if entry is None:
             return LookupResult(key, (), self.global_floor)
         if depth is None:
-            candidates = tuple(reversed(list(entry)))
+            # Zero-copy fast path: unbounded lookups on hot keys used to
+            # materialize the whole entry (list + tuple, O(entry) each);
+            # the lazy view aliases the entry's storage instead.
+            candidates = entry.best_first()
         else:
             candidates = tuple(entry.top(depth))
         return LookupResult(key, candidates, entry.floor)
@@ -103,7 +111,9 @@ class KFlushingEngine(MemoryEngine):
         ctx = FlushContext(
             now=now, target_bytes=self.flush_target_bytes(), buffer=self.buffer
         )
-        self._flush_topk_ids = {} if self.mk_enabled else None
+        self.flush_cache = (
+            FlushCycleCache(self.index, self.k) if self.use_flush_cache else None
+        )
         try:
             run_phase1(self, ctx)
             if not ctx.met and self.max_phase >= 2:
@@ -111,7 +121,7 @@ class KFlushingEngine(MemoryEngine):
             if not ctx.met and self.max_phase >= 3:
                 run_phase3(self, ctx)
         finally:
-            self._flush_topk_ids = None
+            self.flush_cache = None
         written = self.buffer.commit()
         if ctx.max_wholesale_key > self.global_floor:
             self.global_floor = ctx.max_wholesale_key
@@ -139,19 +149,15 @@ class KFlushingEngine(MemoryEngine):
         the record in memory.
         """
         record = self.raw.get(blog_id)
+        cache = self.flush_cache
         for key in self.attribute.keys(record):
             if key == exclude_key:
                 continue
             entry = self.index.get(key)
             if entry is None:
                 continue
-            cache = self._flush_topk_ids
             if cache is not None:
-                top_ids = cache.get(key)
-                if top_ids is None:
-                    top_ids = frozenset(p.blog_id for p in entry.top(self.k))
-                    cache[key] = top_ids
-                if blog_id in top_ids:
+                if blog_id in cache.topk_ids(key, entry):
                     return True
             elif entry.contains_in_top(blog_id, self.k):
                 return True
@@ -165,11 +171,17 @@ class KFlushingEngine(MemoryEngine):
         disk access (Section IV-D, condition 3).
         """
         record = self.raw.get(blog_id)
+        cache = self.flush_cache
         for key in self.attribute.keys(record):
             if key == exclude_key:
                 continue
             entry = self.index.get(key)
-            if entry is not None and len(entry) >= self.k and entry.contains_id(blog_id):
+            if entry is None or len(entry) < self.k:
+                continue
+            if cache is not None:
+                if cache.contains_id(key, entry, blog_id):
+                    return True
+            elif entry.contains_id(blog_id):
                 return True
         return False
 

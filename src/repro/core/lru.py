@@ -66,7 +66,8 @@ class LRUEngine(MemoryEngine):
         if entry is None:
             return LookupResult(key, (), self.global_floor)
         if depth is None:
-            candidates = tuple(reversed(list(entry)))
+            # Zero-copy unbounded lookup (see KFlushingEngine.lookup).
+            candidates = entry.best_first()
         else:
             candidates = tuple(entry.top(depth))
         return LookupResult(key, candidates, entry.floor)
@@ -119,7 +120,7 @@ class LRUEngine(MemoryEngine):
             posting = entry.remove_id(blog_id)
             if posting is None:
                 continue
-            freed += self.index.charge_removed_postings(1)
+            freed += self.index.charge_removed_postings(1, key, entry=entry)
             self.buffer.add_posting(key, posting)
             report.postings_flushed += 1
             if len(entry) == 0:

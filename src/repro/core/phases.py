@@ -120,7 +120,9 @@ def run_phase1(engine: "KFlushingEngine", ctx: FlushContext) -> None:
                 )
             else:
                 removed = entry.trim_beyond(k)
-            engine.index.charge_removed_postings(len(removed))
+            engine.index.charge_removed_postings(len(removed), key, entry=entry)
+            if removed and engine.flush_cache is not None:
+                engine.flush_cache.invalidate(key)
             for posting in removed:
                 freed += _evict_posting(engine, ctx, key, posting)
             if len(entry) <= k:
@@ -155,7 +157,10 @@ def _flush_entry(
         )
     else:
         removed = entry.drain()
-    engine.index.charge_removed_postings(len(removed))
+    engine.index.charge_removed_postings(len(removed), key, entry=entry)
+    cache = engine.flush_cache
+    if cache is not None and removed:
+        cache.invalidate(key)
     freed = 0
     for posting in removed:
         freed += _evict_posting(engine, ctx, key, posting)
@@ -164,6 +169,8 @@ def _flush_entry(
         engine.index.remove_entry(key)
         freed += engine.model.entry_overhead
         ctx.entries_flushed += 1
+        if cache is not None:
+            cache.on_entry_removed(key)
     return freed
 
 
@@ -229,18 +236,28 @@ def run_phase3(engine: "KFlushingEngine", ctx: FlushContext) -> None:
     entries of any size behind.
     """
     freed = 0
+    cache = engine.flush_cache
     with engine.obs.span(f"flush.{PHASE_FORCED}"):
         while ctx.freed_bytes + freed < ctx.target_bytes and len(engine.index) > 0:
             share = _mean_record_share(engine)
             overhead = engine.model.entry_overhead
             per_posting = engine.model.posting_bytes + share
+            # Escalation rounds iterate the flush cache's victim snapshot
+            # instead of rescanning the full index; surviving keys come
+            # back in identical order (see FlushCycleCache), with costs
+            # recomputed from live entry sizes and the current share.
+            if cache is not None:
+                candidate_keys = cache.surviving_keys()
+            else:
+                candidate_keys = list(engine.index.keys())
             candidates = (
                 (
                     entry.last_query,
                     overhead + math.ceil(len(entry) * per_posting),
                     key,
                 )
-                for key, entry in engine.index.items()
+                for key in candidate_keys
+                if (entry := engine.index.get(key)) is not None
             )
             victims = select_victims_heap(
                 candidates, ctx.target_bytes - ctx.freed_bytes - freed

@@ -41,14 +41,16 @@ __all__ = ["LookupResult", "FlushReport", "MemoryEngine"]
 class LookupResult:
     """In-memory postings of one key plus their completeness guarantee.
 
-    ``candidates`` are best-rank-first.  Every posting for this key whose
-    sort key is strictly above ``floor`` is guaranteed to be present in
-    ``candidates``; below the floor, memory may be missing items and only
-    the disk knows the truth.
+    ``candidates`` are best-rank-first: a tuple for bounded lookups, or a
+    zero-copy :class:`~repro.storage.posting_list.BestFirstView` for
+    unbounded ones (both are read-only sequences; slicing always yields
+    tuples).  Every posting for this key whose sort key is strictly above
+    ``floor`` is guaranteed to be present in ``candidates``; below the
+    floor, memory may be missing items and only the disk knows the truth.
     """
 
     key: Hashable
-    candidates: tuple[Posting, ...]
+    candidates: Sequence[Posting]
     floor: SortKey
 
     def provable_top(self, k: int) -> Optional[tuple[Posting, ...]]:

@@ -21,6 +21,8 @@ from repro.experiments.report import format_figure, format_panel, print_figure
 
 _registry.setdefault("ext1", ext_skew_sensitivity)
 _registry.setdefault("ext2", ext_and_semantics)
+from repro.experiments.bench import BenchRecord, run_bench
+from repro.experiments.parallel import resolve_jobs, run_trials
 from repro.experiments.runner import (
     TrialResult,
     TrialSpec,
@@ -38,6 +40,7 @@ from repro.experiments.scale import (
 
 __all__ = [
     "ALL_FIGURES",
+    "BenchRecord",
     "FULL",
     "FigureResult",
     "PRESETS",
@@ -64,6 +67,9 @@ __all__ = [
     "format_panel",
     "preset_from_env",
     "print_figure",
+    "resolve_jobs",
+    "run_bench",
     "run_digestion_stress",
     "run_trial",
+    "run_trials",
 ]

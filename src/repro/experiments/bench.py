@@ -1,0 +1,215 @@
+"""Performance benchmark harness: ``repro-microblogs bench``.
+
+The reproduction's usefulness is gated on trial throughput (the paper's
+headline ratios are measured over millions of digested records), so the
+repo keeps a *perf trajectory*: every PR runs the same fixed workloads
+and appends its ``BENCH_<tag>.json`` next to the previous ones.  Each
+record in the file is one flat measurement::
+
+    {"metric": ..., "policy": ..., "value": ..., "unit": ..., "seed": ...}
+
+Four suites, all deterministic in their inputs (timings are, of course,
+machine-dependent — compare trajectories on one machine only):
+
+* ``kfilled``  — sampling ``k_filled_count()``: the incremental counter
+  vs the brute-force rescan it replaced, plus their speedup ratio;
+* ``digestion`` — pure ingest-path digestion rate per policy on a fixed
+  stream prefix (flushes included);
+* ``flush``    — flush cost per freed MB per policy over the same run;
+* ``sweep``    — wall-clock of a small trial grid executed serially vs
+  through the process-parallel runner (``--jobs``).
+
+Use ``benchmarks/perf/check_regression.py`` to gate a new file against a
+checked-in baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from repro.experiments.parallel import run_trials
+from repro.experiments.runner import TrialSpec, _WARM_CHUNK
+from repro.experiments.scale import PRESETS, ScalePreset
+
+__all__ = [
+    "BenchRecord",
+    "bench_kfilled_sampling",
+    "bench_digestion_and_flush",
+    "bench_sweep_wallclock",
+    "run_bench",
+    "ALL_SUITES",
+]
+
+BENCH_POLICIES = ("fifo", "kflushing", "kflushing-mk", "lru")
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One benchmark measurement (the BENCH_*.json schema)."""
+
+    metric: str
+    policy: str
+    value: float
+    unit: str
+    seed: int
+
+
+def _warmed_system(spec: TrialSpec):
+    """A system ingested to steady state (same protocol as run_trial)."""
+    system = spec.build_system()
+    stream = spec.build_stream()
+    warmed = 0
+    while (
+        len(system.flush_reports()) < spec.scale.warm_flushes
+        and warmed < spec.scale.max_warm_records
+    ):
+        system.ingest_many(stream.take(_WARM_CHUNK))
+        warmed += _WARM_CHUNK
+    return system, stream
+
+
+def bench_kfilled_sampling(
+    preset: ScalePreset, seed: int, repeats: int = 200
+) -> list[BenchRecord]:
+    """Time k-filled sampling: incremental counter vs brute-force rescan.
+
+    This is the PR's headline micro-optimization: the old sampler walked
+    every index entry and paid two slice allocations per entry in
+    ``provable_top``; the incremental counter answers from a maintained
+    set.  Both are timed over the same steady-state index and must agree
+    exactly (asserted here, not just in tests).
+    """
+    spec = TrialSpec(policy="kflushing", scale=preset, seed=seed)
+    system, _stream = _warmed_system(spec)
+    index = system.engine.index
+
+    incremental = index.k_filled_count()
+    brute = index.k_filled_count_bruteforce()
+    assert incremental == brute, f"counter drift: {incremental} != {brute}"
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        index.k_filled_count()
+    incr_us = (time.perf_counter() - start) / repeats * 1e6
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        index.k_filled_count_bruteforce()
+    brute_us = (time.perf_counter() - start) / repeats * 1e6
+
+    speedup = brute_us / incr_us if incr_us > 0 else float("inf")
+    return [
+        BenchRecord("kfilled_sample_incremental", "kflushing", incr_us, "us", seed),
+        BenchRecord("kfilled_sample_bruteforce", "kflushing", brute_us, "us", seed),
+        BenchRecord("kfilled_sampling_speedup", "kflushing", speedup, "x", seed),
+    ]
+
+
+def bench_digestion_and_flush(
+    preset: ScalePreset, seed: int
+) -> list[BenchRecord]:
+    """Digestion rate and flush cost per freed MB on a fixed workload.
+
+    Each policy ingests the same stream prefix (warm-up plus
+    ``eval_records`` further records); digestion rate is records per
+    wall-second over the measured prefix (flush time included, as in a
+    real ingest path), and flush cost is wall seconds spent flushing per
+    MB of modelled memory actually freed.
+    """
+    records: list[BenchRecord] = []
+    for policy in BENCH_POLICIES:
+        spec = TrialSpec(policy=policy, scale=preset, seed=seed)
+        system, stream = _warmed_system(spec)
+        flushes0 = len(system.flush_reports())
+        start = time.perf_counter()
+        system.ingest_many(stream.take(spec.scale.eval_records))
+        elapsed = time.perf_counter() - start
+        reports = system.flush_reports()[flushes0:]
+        rate = spec.scale.eval_records / elapsed if elapsed > 0 else 0.0
+        records.append(
+            BenchRecord("digestion_rate", policy, rate, "records/s", seed)
+        )
+        freed_mb = sum(r.freed_bytes for r in reports) / 1e6
+        flush_seconds = sum(r.wall_seconds for r in reports)
+        if freed_mb > 0:
+            records.append(
+                BenchRecord(
+                    "flush_cost_per_freed_mb",
+                    policy,
+                    flush_seconds / freed_mb,
+                    "s/MB",
+                    seed,
+                )
+            )
+    return records
+
+
+def bench_sweep_wallclock(
+    preset: ScalePreset, seed: int, jobs: int
+) -> list[BenchRecord]:
+    """Wall-clock of a small figure-style sweep, serial vs ``jobs``.
+
+    The grid is a slice of the Figure 7(a) sweep (two policies, three k
+    values).  With ``jobs <= 1`` only the serial time is recorded.
+    """
+    specs = [
+        TrialSpec(policy=policy, k=k, scale=preset, seed=seed)
+        for k in (5, 20, 60)
+        for policy in ("fifo", "kflushing")
+    ]
+    start = time.perf_counter()
+    serial = run_trials(specs, jobs=1)
+    serial_s = time.perf_counter() - start
+    records = [BenchRecord("sweep_serial_wallclock", "all", serial_s, "s", seed)]
+    if jobs > 1:
+        start = time.perf_counter()
+        parallel = run_trials(specs, jobs=jobs)
+        parallel_s = time.perf_counter() - start
+        assert [r.hit_ratio for r in serial] == [r.hit_ratio for r in parallel], (
+            "parallel runner diverged from serial results"
+        )
+        records.append(
+            BenchRecord(f"sweep_parallel_wallclock_j{jobs}", "all", parallel_s, "s", seed)
+        )
+        records.append(
+            BenchRecord(
+                f"sweep_parallel_speedup_j{jobs}",
+                "all",
+                serial_s / parallel_s if parallel_s > 0 else float("inf"),
+                "x",
+                seed,
+            )
+        )
+    return records
+
+
+ALL_SUITES: dict[str, Callable[..., list[BenchRecord]]] = {
+    "kfilled": lambda preset, seed, jobs: bench_kfilled_sampling(preset, seed),
+    "digestion": lambda preset, seed, jobs: bench_digestion_and_flush(preset, seed),
+    "sweep": bench_sweep_wallclock,
+}
+
+
+def run_bench(
+    preset: Union[str, ScalePreset] = "tiny",
+    seed: int = 42,
+    out: Optional[Union[str, Path]] = "BENCH_PR2.json",
+    jobs: int = 2,
+    suites: Optional[Sequence[str]] = None,
+) -> list[BenchRecord]:
+    """Run the benchmark suites and (optionally) write ``out`` as JSON."""
+    if isinstance(preset, str):
+        preset = PRESETS[preset]
+    names = list(suites) if suites else list(ALL_SUITES)
+    records: list[BenchRecord] = []
+    for name in names:
+        records.extend(ALL_SUITES[name](preset, seed, jobs))
+    if out is not None:
+        path = Path(out)
+        payload = [asdict(record) for record in records]
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return records

@@ -1,0 +1,71 @@
+"""Process-parallel trial execution for the figure sweeps.
+
+Every figure of the paper's evaluation is a grid of independent
+``(policy, x-value)`` trials; nothing is shared between them (each trial
+builds its own system, stream, and query load from the seeds carried in
+its :class:`~repro.experiments.runner.TrialSpec`).  That makes the grid
+embarrassingly parallel — :func:`run_trials` fans it out over a
+``ProcessPoolExecutor`` while guaranteeing that the *results* are
+indistinguishable from a serial run:
+
+* **deterministic per-spec seeding** — all randomness in a trial derives
+  from ``spec.seed`` (stream) and ``spec.seed + 1`` (query load), fixed
+  at spec construction, so a trial computes the same result in any
+  process, in any order;
+* **ordered merge** — results come back in spec order regardless of
+  completion order (``ProcessPoolExecutor.map`` semantics), so callers
+  index them positionally exactly as the old serial loops did.
+
+``jobs=1`` (the default everywhere) bypasses the pool entirely and runs
+the trials inline — byte-identical to the pre-existing serial path, and
+the mode differential tests compare against.
+
+Caveat: trials running in worker processes record their instrumentation
+into the worker's registry, not the parent's, so an ``activated()``
+observation scope does not see events from parallel trials.  The CLI
+therefore keeps ``--metrics-out`` runs serial.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Optional, Sequence
+
+from repro.experiments.runner import TrialResult, TrialSpec, run_trial
+
+__all__ = ["run_trials", "resolve_jobs"]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a jobs request: None/0 → ``REPRO_JOBS`` env or 1.
+
+    A negative value means "all cores" (``os.cpu_count()``).
+    """
+    if jobs is None or jobs == 0:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        jobs = int(env) if env else 1
+    if jobs < 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def run_trials(
+    specs: Sequence[TrialSpec],
+    jobs: Optional[int] = None,
+    runner: Callable[[TrialSpec], TrialResult] = run_trial,
+) -> list[TrialResult]:
+    """Run a grid of trials, optionally across processes.
+
+    ``runner`` must be a picklable module-level callable taking one spec
+    (``run_trial`` or ``run_digestion_stress``).  Results are returned in
+    ``specs`` order; a failure in any trial propagates as the original
+    exception after the pool shuts down.
+    """
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(specs) <= 1:
+        return [runner(spec) for spec in specs]
+    workers = min(jobs, len(specs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(runner, specs, chunksize=1))

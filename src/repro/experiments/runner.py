@@ -161,6 +161,52 @@ def _finish_trial_metrics(
     obs.close()
 
 
+def _collect_result(
+    system: MicroblogSystem,
+    spec: TrialSpec,
+    ingest0: tuple[int, float, float],
+    book0: float,
+    flushes0: int,
+    extras: Optional[dict[str, float]] = None,
+) -> TrialResult:
+    """Assemble a :class:`TrialResult` from the measurement window.
+
+    ``ingest0``/``book0``/``flushes0`` are the counters sampled when the
+    window opened; every rate, flush count, and freed-fraction mean below
+    is computed over the deltas, so warm-up behaviour never leaks into
+    the reported steady-state numbers.
+    """
+    ingest = system.stats.ingest
+    d_indexed = ingest.indexed - ingest0[0]
+    d_insert = ingest.insert_seconds - ingest0[1]
+    d_flush = ingest.flush_seconds - ingest0[2]
+    d_book = system.executor.bookkeeping_seconds - book0
+    denom = d_insert + d_flush + d_book
+    reports = system.flush_reports()[flushes0:]
+    qstats = system.stats.queries
+    return TrialResult(
+        spec=spec,
+        hit_ratio=qstats.hit_ratio,
+        hit_ratio_by_mode={
+            mode.value: qstats.hit_ratio_for(mode) for mode in CombineMode
+        },
+        k_filled=system.k_filled_count(),
+        policy_overhead_bytes=system.policy_overhead_bytes(),
+        records_ingested=d_indexed,
+        queries_run=qstats.queries,
+        insert_rate=(d_indexed / d_insert) if d_insert > 0 else 0.0,
+        effective_digestion_rate=(d_indexed / denom) if denom > 0 else 0.0,
+        flush_count=len(reports),
+        mean_flush_freed_fraction=(
+            sum(r.freed_bytes / max(1, r.target_bytes) for r in reports) / len(reports)
+            if reports
+            else 0.0
+        ),
+        memory_utilization=system.memory_utilization(),
+        extras=extras if extras is not None else {},
+    )
+
+
 def run_trial(
     spec: TrialSpec, metrics_path: Optional[Union[str, Path]] = None
 ) -> TrialResult:
@@ -201,35 +247,8 @@ def run_trial(
             system.search(queries.next_query())
             pending_queries -= 1.0
 
-    ingest = system.stats.ingest
-    d_indexed = ingest.indexed - ingest0[0]
-    d_insert = ingest.insert_seconds - ingest0[1]
-    d_flush = ingest.flush_seconds - ingest0[2]
-    d_book = system.executor.bookkeeping_seconds - book0
-    denom = d_insert + d_flush + d_book
-    reports = system.flush_reports()[flushes0:]
-    qstats = system.stats.queries
     _finish_trial_metrics(system, spec, obs)
-    return TrialResult(
-        spec=spec,
-        hit_ratio=qstats.hit_ratio,
-        hit_ratio_by_mode={
-            mode.value: qstats.hit_ratio_for(mode) for mode in CombineMode
-        },
-        k_filled=system.k_filled_count(),
-        policy_overhead_bytes=system.policy_overhead_bytes(),
-        records_ingested=d_indexed,
-        queries_run=qstats.queries,
-        insert_rate=(d_indexed / d_insert) if d_insert > 0 else 0.0,
-        effective_digestion_rate=(d_indexed / denom) if denom > 0 else 0.0,
-        flush_count=len(reports),
-        mean_flush_freed_fraction=(
-            sum(r.freed_bytes / max(1, r.target_bytes) for r in reports) / len(reports)
-            if reports
-            else 0.0
-        ),
-        memory_utilization=system.memory_utilization(),
-    )
+    return _collect_result(system, spec, ingest0, book0, flushes0)
 
 
 def run_digestion_stress(
@@ -267,6 +286,7 @@ def run_digestion_stress(
         system.stats.ingest.flush_seconds,
     )
     book0 = system.executor.bookkeeping_seconds
+    flushes0 = len(system.flush_reports())
 
     issued = 0
     for record in stream.take(spec.scale.eval_records):
@@ -289,28 +309,16 @@ def run_digestion_stress(
             system.search(queries.next_query())
             issued += 1
 
-    ingest = system.stats.ingest
-    d_indexed = ingest.indexed - ingest0[0]
-    d_insert = ingest.insert_seconds - ingest0[1]
-    d_flush = ingest.flush_seconds - ingest0[2]
-    d_book = system.executor.bookkeeping_seconds - book0
-    denom = d_insert + d_flush + d_book
-    qstats = system.stats.queries
     _finish_trial_metrics(system, spec, obs)
-    return TrialResult(
-        spec=spec,
-        hit_ratio=qstats.hit_ratio,
-        hit_ratio_by_mode={
-            mode.value: qstats.hit_ratio_for(mode) for mode in CombineMode
-        },
-        k_filled=system.k_filled_count(),
-        policy_overhead_bytes=system.policy_overhead_bytes(),
-        records_ingested=d_indexed,
-        queries_run=qstats.queries,
-        insert_rate=(d_indexed / d_insert) if d_insert > 0 else 0.0,
-        effective_digestion_rate=(d_indexed / denom) if denom > 0 else 0.0,
-        flush_count=len(system.flush_reports()),
-        mean_flush_freed_fraction=0.0,
-        memory_utilization=system.memory_utilization(),
+    # Unlike the pre-refactor code, flush_count and the freed-fraction
+    # mean now cover exactly the measurement window (the old path
+    # hard-coded mean_flush_freed_fraction=0.0 and counted warm-up
+    # flushes), making stress results comparable with run_trial's.
+    return _collect_result(
+        system,
+        spec,
+        ingest0,
+        book0,
+        flushes0,
         extras={"queries_issued": float(issued)},
     )

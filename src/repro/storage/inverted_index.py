@@ -9,7 +9,16 @@ lookup/insert it maintains two things the kFlushing policy relies on:
   insert time so Phase 1 never scans the full index;
 * incremental **byte accounting** through the shared
   :class:`~repro.storage.memory_model.MemoryModel`, so the engine can
-  trigger flushing against a modelled memory budget.
+  trigger flushing against a modelled memory budget;
+* the incremental **k-filled set**: the keys whose provable top-k is
+  complete in memory (the Figure 7 metric), maintained at insert, trim,
+  floor-raise, and removal time so sampling the count is O(1) instead of
+  a full index rescan with two slice allocations per entry.
+
+The k-filled set stays exact as long as in-place entry mutations are
+reported with their key (``charge_removed_postings(count, key=...)``).  A
+legacy keyless charge only marks the set dirty; the next count rebuilds
+it, so external callers remain correct, merely slower.
 """
 
 from __future__ import annotations
@@ -20,6 +29,10 @@ from repro.storage.memory_model import MemoryModel
 from repro.storage.posting_list import MIN_SORT_KEY, Posting, PostingList, SortKey
 
 __all__ = ["HashInvertedIndex"]
+
+#: Distinguishes "caller did not name the mutated key" from a key that
+#: happens to be None.
+_UNSET: object = object()
 
 
 class HashInvertedIndex:
@@ -34,6 +47,11 @@ class HashInvertedIndex:
         self._overflow: set[Hashable] = set()
         self._bytes = 0
         self._postings_total = 0
+        #: Keys whose entry is currently k-filled for the index's own k.
+        self._k_filled: set[Hashable] = set()
+        #: Set when an entry mutated without telling us which one (legacy
+        #: keyless charge_removed_postings); the next count rebuilds.
+        self._k_filled_dirty = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -78,7 +96,23 @@ class HashInvertedIndex:
         their completeness floor.
 
         This is the paper's "k-filled keywords" metric (Figure 7): a query
-        on such a key is guaranteed to be a memory hit.
+        on such a key is guaranteed to be a memory hit.  For the index's
+        own ``k`` the count is maintained incrementally and returned in
+        O(1); a foreign threshold falls back to the brute-force rescan.
+        """
+        threshold = self._k if k is None else k
+        if threshold != self._k:
+            return self.k_filled_count_bruteforce(threshold)
+        if self._k_filled_dirty:
+            self._rebuild_k_filled()
+        return len(self._k_filled)
+
+    def k_filled_count_bruteforce(self, k: Optional[int] = None) -> int:
+        """Reference O(index) recount via :meth:`PostingList.provable_top`.
+
+        Kept as the ground truth the incremental counter is verified
+        against (differential tests, :meth:`check_integrity`) and for
+        counting under a threshold other than the index's own ``k``.
         """
         threshold = self._k if k is None else k
         return sum(
@@ -86,6 +120,20 @@ class HashInvertedIndex:
             for entry in self._entries.values()
             if len(entry) >= threshold and entry.provable_top(threshold) is not None
         )
+
+    def _rebuild_k_filled(self) -> None:
+        k = self._k
+        self._k_filled = {
+            key for key, entry in self._entries.items() if entry.is_k_filled(k)
+        }
+        self._k_filled_dirty = False
+
+    def _refresh_k_filled(self, key: Hashable, entry: PostingList) -> None:
+        """Re-derive one key's k-filled membership after a mutation."""
+        if entry.is_k_filled(self._k):
+            self._k_filled.add(key)
+        else:
+            self._k_filled.discard(key)
 
     def posting_count(self) -> int:
         """Total postings across all entries (tracked incrementally)."""
@@ -114,6 +162,9 @@ class HashInvertedIndex:
         self._overflow = {
             key for key, entry in self._entries.items() if len(entry) > k
         }
+        # One O(index) rebuild per k change; thereafter the k-filled set
+        # is maintained incrementally again.
+        self._rebuild_k_filled()
 
     def insert(
         self,
@@ -139,6 +190,10 @@ class HashInvertedIndex:
         self._postings_total += 1
         if len(entry) > self._k:
             self._overflow.add(key)
+        # Inserting never lowers the k-th-best posting nor the floor, so
+        # membership can only switch on here, never off.
+        if key not in self._k_filled and entry.is_k_filled(self._k):
+            self._k_filled.add(key)
         return entry
 
     def touch_query(self, key: Hashable, now: float) -> None:
@@ -147,18 +202,34 @@ class HashInvertedIndex:
         if entry is not None:
             entry.touch_query(now)
 
-    def charge_removed_postings(self, count: int) -> int:
+    def charge_removed_postings(
+        self, count: int, key: Hashable = _UNSET, *, entry: Optional[PostingList] = None
+    ) -> int:
         """Account for ``count`` postings removed directly from an entry.
 
         Returns the bytes freed.  Callers that mutate a
-        :class:`PostingList` in place (trims, per-item removals) must call
-        this to keep the index byte counter truthful.
+        :class:`PostingList` in place (trims, per-item removals, drains)
+        must call this to keep the index byte counter truthful, and should
+        pass the mutated ``key`` (optionally with its ``entry`` to skip
+        the dict lookup) so the k-filled set stays incremental.  A keyless
+        charge is still correct: it marks the set dirty and the next
+        k-filled count pays one rebuild.
         """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         freed = count * self._model.posting_bytes
         self._bytes -= freed
         self._postings_total -= count
+        if key is _UNSET:
+            self._k_filled_dirty = True
+            return freed
+        if entry is None:
+            entry = self._entries.get(key)
+        if entry is not None:
+            self._refresh_k_filled(key, entry)
+        else:
+            # Entry already removed; remove_entry dropped its membership.
+            self._k_filled.discard(key)
         return freed
 
     def clear_overflow(self, key: Hashable) -> None:
@@ -179,6 +250,7 @@ class HashInvertedIndex:
         self._bytes -= self._model.entry_bytes(len(entry))
         self._postings_total -= len(entry)
         self._overflow.discard(key)
+        self._k_filled.discard(key)
         return entry
 
     def check_integrity(self) -> None:
@@ -196,3 +268,14 @@ class HashInvertedIndex:
             # Overflow may be stale-high after set_k shrinks k mid-cycle,
             # but must never contain entries at or below k postings when k
             # is unchanged; Phase 1 tolerates no-op trims either way.
+        if self._k_filled_dirty:
+            self._rebuild_k_filled()
+        expected_k_filled = {
+            key
+            for key, entry in self._entries.items()
+            if len(entry) >= self._k and entry.provable_top(self._k) is not None
+        }
+        assert self._k_filled == expected_k_filled, (
+            f"k-filled set drift: {len(self._k_filled)} tracked != "
+            f"{len(expected_k_filled)} recounted"
+        )

@@ -20,7 +20,7 @@ from __future__ import annotations
 from bisect import bisect_right, insort
 from typing import Hashable, Iterator, NamedTuple, Optional
 
-__all__ = ["Posting", "PostingList", "MIN_SORT_KEY", "SortKey"]
+__all__ = ["BestFirstView", "Posting", "PostingList", "MIN_SORT_KEY", "SortKey"]
 
 #: Total-order key for postings: (score, timestamp, blog_id), higher wins.
 SortKey = tuple[float, float, int]
@@ -40,6 +40,54 @@ class Posting(NamedTuple):
     @property
     def sort_key(self) -> SortKey:
         return (self.score, self.timestamp, self.blog_id)
+
+
+class BestFirstView:
+    """A read-only, best-rank-first sequence view over a posting list.
+
+    Engines hand this to :class:`~repro.core.policy.LookupResult` for
+    unbounded lookups so that reading an entry never copies it: the view
+    aliases the entry's live storage and reverses lazily.  Indexing and
+    slicing follow best-first order (``view[0]`` is the best posting);
+    slices materialize tuples of just the requested size.
+
+    The view is a *snapshot by aliasing*: it reflects later mutations of
+    the entry.  Query evaluation reads it synchronously before any
+    bookkeeping or flushing can run, which is the only supported use.
+    """
+
+    __slots__ = ("_postings",)
+
+    def __init__(self, postings: list[Posting]) -> None:
+        self._postings = postings
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __iter__(self) -> Iterator[Posting]:
+        return reversed(self._postings)
+
+    def __getitem__(self, index):
+        n = len(self._postings)
+        if isinstance(index, slice):
+            return tuple(
+                self._postings[n - 1 - i] for i in range(*index.indices(n))
+            )
+        if index < -n or index >= n:
+            raise IndexError(index)
+        return self._postings[n - 1 - index if index >= 0 else -1 - index - n]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, BestFirstView):
+            return self._postings == other._postings
+        if isinstance(other, (tuple, list)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BestFirstView(n={len(self._postings)})"
 
 
 class PostingList:
@@ -94,6 +142,34 @@ class PostingList:
         if k <= 0:
             return []
         return self._postings[-k:][::-1]
+
+    def iter_best_first(self) -> Iterator[Posting]:
+        """Iterate postings best-rank-first without copying the entry.
+
+        This is the allocation-free counterpart of
+        ``tuple(reversed(list(entry)))``: unbounded lookups on hot keys
+        hold thousands of postings, and materializing them per query was
+        a measurable hot path (see docs/PERFORMANCE.md).
+        """
+        return reversed(self._postings)
+
+    def best_first(self) -> BestFirstView:
+        """A lazy best-rank-first sequence view over this entry."""
+        return BestFirstView(self._postings)
+
+    def is_k_filled(self, k: int) -> bool:
+        """O(1) test for :meth:`provable_top` being non-None.
+
+        An entry is k-filled when it holds at least ``k`` postings and
+        the k-th best is strictly above the completeness floor — a query
+        on this key alone is then a guaranteed memory hit.  The inverted
+        index maintains its k-filled count incrementally off this test.
+        """
+        return (
+            k > 0
+            and len(self._postings) >= k
+            and self._postings[-k].sort_key > self.floor
+        )
 
     def best(self) -> Optional[Posting]:
         """The single best-ranked posting, or None when empty."""
