@@ -4,21 +4,23 @@ Subcommands
 -----------
 ``list``
     Show the available figure experiments and scale presets.
-``run --figure fig7 [--scale small] [--seed 42] [--jobs 4] [--metrics-out m.jsonl]``
+``run --figure fig7 [--scale small] [--seed 42] [--jobs 4] [--shards 4] [--metrics-out m.jsonl]``
     Run one figure experiment (or ``all``) and print its tables;
     ``--jobs`` fans the figure's trial grid out over worker processes
-    (results are identical to a serial run); ``--metrics-out`` streams
-    every instrumentation event of the run (flush spans, query events,
-    final snapshot) to a JSONL file and forces serial execution, since
-    worker-process events do not reach the parent's sink.
-``bench [--preset tiny] [--seed 42] [--jobs 2] [--out BENCH_PR2.json]``
+    (results are identical to a serial run); ``--shards`` hash-partitions
+    each trial's system over N shards; ``--metrics-out`` streams every
+    instrumentation event of the run (flush spans, query events, final
+    snapshot) to a JSONL file — parallel workers write per-trial metric
+    shards that are merged into the same file after the pool drains.
+``bench [--preset tiny] [--seed 42] [--jobs 2] [--out BENCH_PR3.json]``
     Run the performance benchmark suites (k-filled sampling, digestion
-    rate, flush cost, sweep wall-clock) and write the perf-trajectory
-    JSON (see docs/PERFORMANCE.md).
-``stats``
+    rate, flush cost, sweep wall-clock, shard scaling) and write the
+    perf-trajectory JSON (see docs/PERFORMANCE.md).
+``stats [--shards 4]``
     Run a tiny synthetic workload and dump the instrumentation registry
-    (flush phase spans, per-mode query counters, disk I/O) as JSON or
-    Prometheus-style text.
+    (flush phase spans, per-mode query counters, disk I/O, per-shard
+    gauges when sharded) as JSON or Prometheus-style text; the system's
+    invariants are checked before the dump.
 ``demo``
     A 30-second end-to-end demo: ingest a synthetic stream under two
     policies and compare their steady-state hit ratios.
@@ -34,6 +36,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.config import SystemConfig
+from repro.engine.sharded import build_system
 from repro.engine.system import MicroblogSystem
 from repro.experiments.bench import ALL_SUITES, run_bench
 from repro.experiments.figures import ALL_FIGURES
@@ -56,15 +59,20 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _figure_kwargs(fn, seed: int, jobs: int) -> dict:
+def _figure_kwargs(fn, seed: int, jobs: int, shards: int = 1) -> dict:
     """Keyword arguments for one figure function.
 
-    ``jobs`` is forwarded only to figures that support parallel trial
-    grids (the extension experiments, for instance, run serially).
+    ``jobs`` and ``shards`` are forwarded only to figures whose
+    signatures support them (the extension experiments, for instance,
+    run serially; fig5 is an engine-level experiment with no sharded
+    variant).
     """
     kwargs = {"seed": seed}
-    if jobs > 1 and "jobs" in inspect.signature(fn).parameters:
+    params = inspect.signature(fn).parameters
+    if jobs > 1 and "jobs" in params:
         kwargs["jobs"] = jobs
+    if shards > 1 and "shards" in params:
+        kwargs["shards"] = shards
     return kwargs
 
 
@@ -74,13 +82,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     obs: Optional[Instrumentation] = None
     jobs = resolve_jobs(args.jobs)
     if args.metrics_out:
+        # Parallel workers write per-trial metric shards that run_trials
+        # merges back into this sink's file, so --jobs stays effective.
         obs = Instrumentation(sink=JsonlSink(args.metrics_out))
-        if jobs > 1:
-            print("[--metrics-out forces serial execution; ignoring --jobs]")
-            jobs = 1
     for name in names:
         fn = ALL_FIGURES[name]
-        kwargs = _figure_kwargs(fn, args.seed, jobs)
+        kwargs = _figure_kwargs(fn, args.seed, jobs, args.shards)
         start = time.perf_counter()
         if obs is not None:
             # Every system built inside the figure shares this registry
@@ -129,8 +136,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         memory_capacity_bytes=args.capacity_bytes,
         and_scan_depth=500,
         and_disk_limit=500,
+        shards=args.shards,
     )
-    system = MicroblogSystem(config, obs=obs)
+    system = build_system(config, obs=obs)
     stream = MicroblogStream(
         StreamConfig(seed=args.seed, vocabulary_size=5_000, with_locations=False)
     )
@@ -142,6 +150,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         ingested += 1
         if ingested % per_query == 0:
             system.search(queries.next_query())
+    # Invariant check through the facade: per-engine structure plus, when
+    # sharded, the router's key-ownership invariant on every shard.
+    system.check_integrity()
+    # snapshot() refreshes the per-shard gauges into the registry, so the
+    # rendered dump includes shard.<i>.* series for a sharded run.
+    system.snapshot()
     obs.close()
     rendered = (
         to_prometheus_text(obs.registry)
@@ -224,10 +238,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "hash-partition each trial's system over N shards (total "
+            "memory budget split N ways; 1 = the paper's single partition)"
+        ),
+    )
+    run.add_argument(
         "--metrics-out",
         default=None,
         metavar="PATH",
-        help="stream instrumentation events of the run to this JSONL file",
+        help=(
+            "stream instrumentation events of the run to this JSONL file "
+            "(works with --jobs: worker metric shards are merged in)"
+        ),
     )
     run.set_defaults(fn=_cmd_run)
 
@@ -246,7 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        default="BENCH_PR2.json",
+        default="BENCH_PR3.json",
         metavar="PATH",
         help="where to write the benchmark records (JSON)",
     )
@@ -280,6 +306,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="modelled memory budget (small by default so flushes happen)",
     )
     stats.add_argument("--seed", type=int, default=42, help="workload seed")
+    stats.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="hash-partition the system over N shards (adds shard.<i>.* series)",
+    )
     stats.add_argument(
         "--format",
         default="json",

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Union
 
-from repro.core import POLICY_NAMES
+from repro.core import policy_names
 from repro.errors import ConfigurationError
 from repro.model.attributes import AttributeExtractor, attribute_from_name
 from repro.model.ranking import RankingFunction, ranking_from_name
@@ -52,6 +52,16 @@ class SystemConfig:
         Byte-cost and I/O-cost models.
     tile_side_degrees:
         Grid tile side used when ``attribute="spatial"``.
+    shards:
+        Number of hash-partitioned shards the system is split into
+        (1 = the paper's single-partition system).  Each shard owns its
+        own memory engine, budget, flush cycle, and disk-archive
+        namespace; see ``docs/ARCHITECTURE.md``.
+    shard_capacity_bytes:
+        Optional per-shard memory budgets (one entry per shard).  When
+        None, ``memory_capacity_bytes`` is split evenly across shards
+        (the first ``memory_capacity_bytes % shards`` shards absorb the
+        remainder byte each).
     """
 
     policy: str = "kflushing"
@@ -69,10 +79,15 @@ class SystemConfig:
     #: capped answers are flagged via ``QueryResult.provably_exact``.
     and_scan_depth: Union[int, None] = None
     and_disk_limit: Union[int, None] = None
+    #: Hash-partitioned shard count (1 = unsharded, the paper's system).
+    shards: int = 1
+    #: Optional per-shard budgets overriding the even capacity/N split.
+    shard_capacity_bytes: Union[tuple[int, ...], None] = None
 
     def __post_init__(self) -> None:
-        if self.policy not in POLICY_NAMES:
-            valid = ", ".join(POLICY_NAMES)
+        names = policy_names()
+        if self.policy not in names:
+            valid = ", ".join(names)
             raise ConfigurationError(
                 f"unknown policy {self.policy!r}; expected one of: {valid}"
             )
@@ -96,9 +111,47 @@ class SystemConfig:
                 raise ConfigurationError(
                     f"{name} must be None or >= k, got {value} (k={self.k})"
                 )
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_capacity_bytes is not None:
+            budgets = self.shard_capacity_bytes
+            if len(budgets) != self.shards:
+                raise ConfigurationError(
+                    f"shard_capacity_bytes needs one entry per shard: got "
+                    f"{len(budgets)} entries for {self.shards} shards"
+                )
+            for i, budget in enumerate(budgets):
+                if budget <= 0:
+                    raise ConfigurationError(
+                        f"shard_capacity_bytes[{i}] must be positive, got {budget}"
+                    )
         # Fail fast on unknown names rather than at system build time.
         self.build_attribute()
         self.build_ranking()
+
+    def shard_capacity(self, shard_id: int) -> int:
+        """Memory budget of one shard.
+
+        Explicit ``shard_capacity_bytes`` wins; otherwise the global
+        budget is split evenly, with the first ``capacity % shards``
+        shards absorbing one remainder byte each so the shard budgets
+        always sum to ``memory_capacity_bytes``.
+        """
+        if not 0 <= shard_id < self.shards:
+            raise ConfigurationError(
+                f"shard_id must be in [0, {self.shards}), got {shard_id}"
+            )
+        if self.shard_capacity_bytes is not None:
+            return self.shard_capacity_bytes[shard_id]
+        base, remainder = divmod(self.memory_capacity_bytes, self.shards)
+        return base + (1 if shard_id < remainder else 0)
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        """Summed memory budget across all shards."""
+        if self.shard_capacity_bytes is not None:
+            return sum(self.shard_capacity_bytes)
+        return self.memory_capacity_bytes
 
     def build_attribute(self) -> AttributeExtractor:
         """Resolve the configured attribute to an extractor instance."""

@@ -29,6 +29,7 @@ from repro.model.microblog import Microblog
 from repro.obs import Instrumentation
 from repro.storage.disk import DiskArchive
 from repro.storage.posting_list import Posting
+from repro.storage.topk import merge_topk
 
 __all__ = ["QueryExecutor", "QueryResult"]
 
@@ -58,17 +59,10 @@ class QueryResult:
         return tuple(p.blog_id for p in self.postings)
 
 
-def _merge_topk(groups: list[list[Posting]], k: int) -> list[Posting]:
-    """Deduplicated top-k across posting groups, best rank first."""
-    seen: set[int] = set()
-    merged: list[Posting] = []
-    for group in groups:
-        for posting in group:
-            if posting.blog_id not in seen:
-                seen.add(posting.blog_id)
-                merged.append(posting)
-    merged.sort(key=lambda p: p.sort_key, reverse=True)
-    return merged[:k]
+#: Backwards-compatible alias: the merge now lives in
+#: :mod:`repro.storage.topk` so the executor, the sharded scatter-gather
+#: path, and the segmented index share one implementation.
+_merge_topk = merge_topk
 
 
 class QueryExecutor:

@@ -1,0 +1,505 @@
+"""Hash-partitioned system: N independent shards behind one facade.
+
+The paper's system (and :class:`~repro.engine.system.MicroblogSystem`)
+is a single partition: one memory engine, one flush cycle, one disk
+archive.  Real-time microblog search deployments partition their
+postings across independent index slices to bound per-partition memory
+churn and parallelise digestion; this module is that architecture:
+
+* a :class:`ShardRouter` maps every index key to its owning shard via a
+  **stable** hash (``zlib.crc32`` — deliberately not Python's salted
+  ``hash()``, so routing survives process boundaries and reruns);
+* each :class:`Shard` owns a full vertical slice — its own
+  :class:`~repro.core.policy.MemoryEngine` (any policy), memory budget
+  (``capacity/N`` by default, per-shard overrides supported), flush
+  cycle, and :class:`~repro.storage.disk.DiskArchive` namespace;
+* records **fan out**: a record is digested by every shard owning at
+  least one of its keys, so each shard holds the *complete* posting set
+  for the keys it owns.  That per-key completeness is what makes
+  scatter-gather answers equal to the unsharded system's for single-,
+  OR-, and AND-mode queries alike;
+* queries **scatter-gather**: the facade's executor routes every per-key
+  memory/disk lookup to the owning shard and merges with the shared
+  :func:`~repro.storage.topk.merge_topk` — the identical hit semantics
+  of the unsharded executor, proven by the ``shards=1`` differential
+  test and the N-shard answer-equality property test.
+
+Flushing is **per shard**: a shard flushes when *its* budget fills,
+independently of its siblings — hot shards flush more often, which is
+exactly the skew ``snapshot()`` surfaces (``shard.<i>.*`` metrics and
+the hot-shard summary).
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from typing import Hashable, Iterable, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.core import create_engine
+from repro.core.policy import FlushReport, LookupResult, MemoryEngine
+from repro.engine.clock import LogicalClock
+from repro.engine.executor import QueryExecutor
+from repro.engine.stats import SystemStats
+from repro.engine.system import MicroblogSystem, MicroblogSystemBase
+from repro.errors import CapacityError, ConfigurationError
+from repro.model.attributes import AttributeExtractor
+from repro.model.microblog import Microblog
+from repro.obs import Instrumentation
+from repro.obs.runtime import get_active
+from repro.storage.disk import DiskArchive
+
+__all__ = [
+    "ShardRouter",
+    "ShardAttributeView",
+    "Shard",
+    "ShardedMicroblogSystem",
+    "build_system",
+    "stable_key_hash",
+]
+
+
+def stable_key_hash(key: Hashable) -> int:
+    """A process-stable 32-bit hash of an index key.
+
+    Python's builtin ``hash()`` is salted per process for str/bytes, so
+    it cannot route keys consistently across the parallel trial runner's
+    worker processes or across reruns.  CRC32 over a canonical byte
+    encoding is stable everywhere: strings hash their UTF-8 bytes, and
+    every other key type (user ids, ``(ix, iy)`` spatial tiles) hashes
+    its ``repr`` — stable for the builtin scalar/tuple types keys are
+    made of.
+    """
+    if isinstance(key, str):
+        data = key.encode("utf-8")
+    elif isinstance(key, bytes):
+        data = key
+    else:
+        data = repr(key).encode("utf-8")
+    return zlib.crc32(data)
+
+
+class ShardRouter:
+    """Key -> shard assignment via stable hashing.
+
+    The router also understands *fan-out*: a multi-key record belongs to
+    every shard owning one of its keys, and a multi-key query must be
+    scattered the same way — :meth:`shards_for` and
+    :meth:`group_by_shard` encode those rules in one place.
+    """
+
+    def __init__(self, shard_count: int) -> None:
+        if shard_count < 1:
+            raise ConfigurationError(
+                f"shard_count must be >= 1, got {shard_count}"
+            )
+        self.shard_count = shard_count
+        # Key universes are bounded (vocabulary / user population / tile
+        # grid), so memoising the modulo is safe and keeps the per-record
+        # routing cost to one dict hit per key at steady state.
+        self._cache: dict[Hashable, int] = {}
+
+    def shard_of(self, key: Hashable) -> int:
+        """The shard owning ``key``."""
+        shard = self._cache.get(key)
+        if shard is None:
+            shard = stable_key_hash(key) % self.shard_count
+            self._cache[key] = shard
+        return shard
+
+    def shards_for(self, keys: Iterable[Hashable]) -> tuple[int, ...]:
+        """Sorted distinct shards owning any of ``keys`` (record fan-out)."""
+        return tuple(sorted({self.shard_of(key) for key in keys}))
+
+    def group_by_shard(
+        self, keys: Sequence[Hashable]
+    ) -> dict[int, tuple[Hashable, ...]]:
+        """Keys grouped by owning shard, preserving the given key order."""
+        groups: dict[int, list[Hashable]] = {}
+        for key in keys:
+            groups.setdefault(self.shard_of(key), []).append(key)
+        return {shard: tuple(group) for shard, group in groups.items()}
+
+
+class ShardAttributeView(AttributeExtractor):
+    """The base attribute restricted to one shard's owned keys.
+
+    Each shard's engine indexes a record under only the keys its shard
+    owns — this wrapper is what enforces the partitioning at the engine
+    boundary, so engines themselves stay completely shard-unaware.
+    """
+
+    def __init__(
+        self, base: AttributeExtractor, router: ShardRouter, shard_id: int
+    ) -> None:
+        self._base = base
+        self._router = router
+        self._shard_id = shard_id
+        self.name = base.name
+        self.multi_key = base.multi_key
+
+    def keys(self, record: Microblog) -> tuple[Hashable, ...]:
+        return tuple(
+            key
+            for key in self._base.keys(record)
+            if self._router.shard_of(key) == self._shard_id
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardAttributeView({self._base!r}, shard={self._shard_id})"
+
+
+class Shard:
+    """One vertical slice: engine + budget + flush cycle + disk namespace."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        config: SystemConfig,
+        router: ShardRouter,
+        attribute: AttributeExtractor,
+        ranking,
+        obs: Instrumentation,
+    ) -> None:
+        self.shard_id = shard_id
+        self.capacity_bytes = config.shard_capacity(shard_id)
+        self.disk = DiskArchive(
+            config.memory_model, config.disk_cost, obs=obs, shard_id=shard_id
+        )
+        self.attribute = ShardAttributeView(attribute, router, shard_id)
+        self.engine: MemoryEngine = create_engine(
+            config.policy,
+            model=config.memory_model,
+            ranking=ranking,
+            attribute=self.attribute,
+            k=config.k,
+            capacity_bytes=self.capacity_bytes,
+            flush_fraction=config.flush_fraction,
+            disk=self.disk,
+            obs=obs,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Shard(id={self.shard_id}, capacity={self.capacity_bytes}, "
+            f"records={self.engine.record_count()})"
+        )
+
+
+class _RoutedDiskStats:
+    """Aggregate ``DiskStats`` view the executor's I/O accounting reads."""
+
+    __slots__ = ("_shards",)
+
+    def __init__(self, shards: list[Shard]) -> None:
+        self._shards = shards
+
+    @property
+    def simulated_io_seconds(self) -> float:
+        return sum(shard.disk.stats.simulated_io_seconds for shard in self._shards)
+
+
+class _RoutedDisk:
+    """Disk-archive adapter routing per-key lookups to the owning shard.
+
+    Duck-types the slice of :class:`DiskArchive` the query executor
+    uses: ``lookup`` (keyed — routed), ``fetch_record`` (by id — probed
+    across shard archives, charging exactly one read), and ``stats``.
+    """
+
+    def __init__(self, shards: list[Shard], router: ShardRouter) -> None:
+        self._shards = shards
+        self._router = router
+        self.stats = _RoutedDiskStats(shards)
+
+    def lookup(self, key: Hashable, limit: Optional[int] = None):
+        return self._shards[self._router.shard_of(key)].disk.lookup(key, limit=limit)
+
+    def fetch_record(self, blog_id: int) -> Optional[Microblog]:
+        for shard in self._shards:
+            if shard.disk.contains_record(blog_id):
+                return shard.disk.fetch_record(blog_id)
+        return None
+
+
+class _RoutedEngine:
+    """Memory-engine adapter routing per-key operations to shards.
+
+    Duck-types the slice of :class:`MemoryEngine` the query executor
+    uses.  Handing this to the *unsharded* :class:`QueryExecutor` is the
+    scatter-gather design: the executor's hit semantics, completeness
+    proofs, and :func:`~repro.storage.topk.merge_topk` merges run
+    unchanged, with every per-key memory/disk access transparently served
+    by the owning shard.
+    """
+
+    def __init__(self, shards: list[Shard], router: ShardRouter) -> None:
+        self._shards = shards
+        self._router = router
+
+    def lookup(self, key: Hashable, depth: Optional[int] = None) -> LookupResult:
+        return self._shards[self._router.shard_of(key)].engine.lookup(key, depth=depth)
+
+    def note_query(
+        self,
+        keys: Sequence[Hashable],
+        accessed_ids: Iterable[int],
+        now: float,
+    ) -> None:
+        # Scatter the policy feedback: each shard sees the keys it owns
+        # plus the full accessed-id list (engines ignore non-resident
+        # ids, and a fanned-out record may be resident in several shards
+        # — each should observe the access).
+        accessed = tuple(accessed_ids)
+        for shard_id, shard_keys in self._router.group_by_shard(keys).items():
+            self._shards[shard_id].engine.note_query(shard_keys, accessed, now)
+
+    def get_record(self, blog_id: int) -> Optional[Microblog]:
+        for shard in self._shards:
+            record = shard.engine.get_record(blog_id)
+            if record is not None:
+                return record
+        return None
+
+
+class ShardedMicroblogSystem(MicroblogSystemBase):
+    """N hash-partitioned shards behind the :class:`MicroblogSystem` API.
+
+    Construction accepts any ``SystemConfig`` (``shards=1`` builds a
+    single-shard system whose observable behaviour is bit-identical to
+    :class:`MicroblogSystem` — the differential test in
+    ``tests/test_sharding.py`` holds that bar).  Prefer
+    :func:`build_system`, which picks the cheaper unsharded facade when
+    the config doesn't ask for partitioning.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        strict_and: bool = False,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
+        self.config = config
+        self.obs = obs if obs is not None else (get_active() or Instrumentation())
+        self.attribute = config.build_attribute()
+        self.ranking = config.build_ranking()
+        self.router = ShardRouter(config.shards)
+        self.shards: list[Shard] = [
+            Shard(i, config, self.router, self.attribute, self.ranking, self.obs)
+            for i in range(config.shards)
+        ]
+        self.executor = QueryExecutor(
+            _RoutedEngine(self.shards, self.router),
+            _RoutedDisk(self.shards, self.router),
+            strict_and=strict_and,
+            and_scan_depth=config.and_scan_depth,
+            and_disk_limit=config.and_disk_limit,
+            obs=self.obs,
+        )
+        self.clock = LogicalClock()
+        self.stats = SystemStats()
+        #: All shards' flushes, in the order they ran (the facade-level
+        #: mirror of each engine's own ``flush_reports``).
+        self._flush_reports: list[FlushReport] = []
+        self.obs.registry.gauge("shards.count").set(config.shards)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(self, record: Microblog) -> bool:
+        self.clock.advance_to(record.timestamp)
+        self.stats.ingest.offered += 1
+        start = time.perf_counter()
+        owners = self.router.shards_for(self.attribute.keys(record))
+        indexed = False
+        for shard_id in owners:
+            # Each owning shard indexes the record under its own keys
+            # only (the shard's attribute view filters); the record body
+            # is replicated to every owning shard — the documented cost
+            # of multi-key fan-out.
+            if self.shards[shard_id].engine.insert(record):
+                indexed = True
+        self.stats.ingest.insert_seconds += time.perf_counter() - start
+        if not indexed:
+            self.stats.ingest.skipped += 1
+            return False
+        self.stats.ingest.indexed += 1
+        for shard_id in owners:
+            shard = self.shards[shard_id]
+            if shard.engine.needs_flush():
+                self._flush_shard(shard)
+        return True
+
+    def _flush_shard(self, shard: Shard) -> FlushReport:
+        engine = shard.engine
+        before = engine.memory_bytes
+        self.stats.sample_memory(
+            self.now, before, shard.capacity_bytes, kind="before", shard=shard.shard_id
+        )
+        report = engine.run_flush(self.now)
+        self.stats.ingest.flush_seconds += report.wall_seconds
+        self._flush_reports.append(report)
+        after = engine.memory_bytes
+        self.stats.sample_memory(
+            self.now, after, shard.capacity_bytes, kind="after", shard=shard.shard_id
+        )
+        # System-level timeline sample plus the global memory gauges,
+        # mirroring the unsharded facade's accounting.
+        total = self.total_memory_bytes()
+        total_capacity = self.config.total_capacity_bytes
+        self.stats.sample_memory(self.now, total, total_capacity, kind="after")
+        registry = self.obs.registry
+        registry.gauge("memory.bytes_used").set(total)
+        registry.gauge("memory.capacity_bytes").set(total_capacity)
+        prefix = f"shard.{shard.shard_id}."
+        registry.counter(prefix + "flush.count").inc()
+        registry.counter(prefix + "flush.freed_bytes").inc(report.freed_bytes)
+        registry.gauge(prefix + "memory.bytes_used").set(after)
+        registry.gauge(prefix + "memory.capacity_bytes").set(shard.capacity_bytes)
+        if report.freed_bytes <= 0 and after >= shard.capacity_bytes:
+            raise CapacityError(
+                f"shard {shard.shard_id} flush freed nothing at {after} bytes "
+                f"used of {shard.capacity_bytes}; a single record may exceed "
+                "the shard's memory budget"
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # Control and metrics
+    # ------------------------------------------------------------------
+
+    def set_k(self, k: int) -> None:
+        for shard in self.shards:
+            shard.engine.set_k(k)
+
+    def total_memory_bytes(self) -> int:
+        return sum(shard.engine.memory_bytes for shard in self.shards)
+
+    def k_filled_count(self) -> int:
+        # Keys are partitioned (each owned by exactly one shard), so the
+        # per-shard counts sum without overlap.
+        return sum(shard.engine.k_filled_count() for shard in self.shards)
+
+    def memory_utilization(self) -> float:
+        return self.total_memory_bytes() / self.config.total_capacity_bytes
+
+    def frequency_snapshot(self) -> dict[Hashable, int]:
+        merged: dict[Hashable, int] = {}
+        for shard in self.shards:
+            merged.update(shard.engine.frequency_snapshot())
+        return merged
+
+    def flush_reports(self) -> list[FlushReport]:
+        return self._flush_reports
+
+    def policy_overhead_bytes(self) -> int:
+        return sum(shard.engine.policy_overhead_bytes for shard in self.shards)
+
+    def shard_utilizations(self) -> list[float]:
+        """Per-shard used fraction of the shard budget, by shard id."""
+        return [
+            shard.engine.memory_bytes / shard.capacity_bytes
+            for shard in self.shards
+        ]
+
+    def shard_skew(self) -> dict:
+        """Hot-shard summary: how unevenly the hash partitions the load.
+
+        ``record_skew`` is max-over-mean resident records (1.0 = perfectly
+        balanced); ``flush_skew`` is the same ratio over per-shard flush
+        counts (0.0 when no shard has flushed yet).
+        """
+        records = [shard.engine.record_count() for shard in self.shards]
+        flushes = [len(shard.engine.flush_reports) for shard in self.shards]
+        utils = self.shard_utilizations()
+        mean_records = sum(records) / len(records)
+        mean_flushes = sum(flushes) / len(flushes)
+        hot = max(range(len(records)), key=lambda i: records[i])
+        return {
+            "shards": self.config.shards,
+            "hot_shard": hot,
+            "max_records": max(records),
+            "mean_records": mean_records,
+            "record_skew": (max(records) / mean_records) if mean_records else 0.0,
+            "flush_skew": (max(flushes) / mean_flushes) if mean_flushes else 0.0,
+            "max_utilization": max(utils),
+            "min_utilization": min(utils),
+        }
+
+    def _refresh_shard_gauges(self) -> None:
+        registry = self.obs.registry
+        for shard in self.shards:
+            prefix = f"shard.{shard.shard_id}."
+            registry.gauge(prefix + "memory.bytes_used").set(shard.engine.memory_bytes)
+            registry.gauge(prefix + "memory.capacity_bytes").set(shard.capacity_bytes)
+            registry.gauge(prefix + "memory.utilization").set(
+                shard.engine.memory_bytes / shard.capacity_bytes
+            )
+            registry.gauge(prefix + "records").set(shard.engine.record_count())
+            registry.gauge(prefix + "k_filled").set(shard.engine.k_filled_count())
+        skew = self.shard_skew()
+        registry.gauge("shards.record_skew").set(skew["record_skew"])
+        registry.gauge("shards.flush_skew").set(skew["flush_skew"])
+
+    def snapshot(self) -> dict:
+        """Registry snapshot extended with per-shard state and the
+        hot-shard skew summary (``shards`` / ``shard_skew`` keys)."""
+        self._refresh_shard_gauges()
+        snap = self.obs.registry.snapshot()
+        snap["shards"] = {
+            str(shard.shard_id): {
+                "capacity_bytes": shard.capacity_bytes,
+                "memory_bytes": shard.engine.memory_bytes,
+                "utilization": shard.engine.memory_bytes / shard.capacity_bytes,
+                "records": shard.engine.record_count(),
+                "k_filled": shard.engine.k_filled_count(),
+                "flush_count": len(shard.engine.flush_reports),
+                "disk_records": shard.disk.record_count,
+                "disk_keys": shard.disk.key_count,
+            }
+            for shard in self.shards
+        }
+        snap["shard_skew"] = self.shard_skew()
+        return snap
+
+    def check_integrity(self) -> None:
+        """Per-shard engine invariants plus the partitioning invariant:
+        every key a shard holds (in memory or on its disk namespace) is
+        owned by that shard under the router."""
+        for shard in self.shards:
+            shard.engine.check_integrity()
+            for key in shard.engine.frequency_snapshot():
+                owner = self.router.shard_of(key)
+                assert owner == shard.shard_id, (
+                    f"key {key!r} resident in shard {shard.shard_id} but "
+                    f"routed to shard {owner}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedMicroblogSystem(policy={self.config.policy!r}, "
+            f"shards={self.config.shards}, attr={self.attribute.name!r}, "
+            f"records={sum(s.engine.record_count() for s in self.shards)})"
+        )
+
+
+def build_system(
+    config: SystemConfig,
+    strict_and: bool = False,
+    obs: Optional[Instrumentation] = None,
+    force_sharded: bool = False,
+) -> MicroblogSystemBase:
+    """Build the facade the config asks for.
+
+    ``shards=1`` returns the single-partition :class:`MicroblogSystem`
+    (zero routing overhead — today's system, unchanged); ``shards>1``
+    returns a :class:`ShardedMicroblogSystem`.  ``force_sharded=True``
+    builds the sharded facade even at ``shards=1`` — the hook the
+    differential test uses to prove the sharded code path is
+    bit-identical to the unsharded one.
+    """
+    if config.shards > 1 or force_sharded:
+        return ShardedMicroblogSystem(config, strict_and=strict_and, obs=obs)
+    return MicroblogSystem(config, strict_and=strict_and, obs=obs)

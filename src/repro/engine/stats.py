@@ -97,6 +97,9 @@ class TimelinePoint:
     capacity: int
     #: "before" (flush trigger), "after" (flush done), or "sample".
     kind: str = "sample"
+    #: Which shard this sample describes; None = the whole system
+    #: (always None on an unsharded system).
+    shard: Optional[int] = None
 
     @property
     def utilization(self) -> float:
@@ -112,9 +115,18 @@ class SystemStats:
     timeline: list[TimelinePoint] = field(default_factory=list)
 
     def sample_memory(
-        self, time: float, bytes_used: int, capacity: int, kind: str = "sample"
+        self,
+        time: float,
+        bytes_used: int,
+        capacity: int,
+        kind: str = "sample",
+        shard: Optional[int] = None,
     ) -> None:
-        self.timeline.append(TimelinePoint(time, bytes_used, capacity, kind))
+        self.timeline.append(TimelinePoint(time, bytes_used, capacity, kind, shard))
+
+    def shard_timeline(self, shard: Optional[int]) -> list[TimelinePoint]:
+        """The timeline restricted to one shard (None = system-level)."""
+        return [point for point in self.timeline if point.shard == shard]
 
     def flush_summary(self, reports: list["FlushReport"]) -> dict[str, float]:
         """Aggregate per-flush reports into one summary dict."""

@@ -9,11 +9,18 @@ together, reproducing the environment of the paper's Figure 2:
   flushing budget B to disk;
 * incoming top-k queries are answered memory-first, falling back to disk
   on a miss — and the hit ratio is the headline metric.
+
+:class:`MicroblogSystemBase` holds the facade surface shared with the
+hash-partitioned sibling (:class:`repro.engine.sharded.ShardedMicroblogSystem`):
+experiment harnesses program against the base contract and work with
+either build.  Use :func:`repro.engine.sharded.build_system` to construct
+whichever the config asks for.
 """
 
 from __future__ import annotations
 
 import time
+from abc import ABC, abstractmethod
 from typing import Hashable, Iterable, Optional
 
 from repro.config import SystemConfig
@@ -29,10 +36,132 @@ from repro.obs import Instrumentation
 from repro.obs.runtime import get_active
 from repro.storage.disk import DiskArchive
 
-__all__ = ["MicroblogSystem"]
+__all__ = ["MicroblogSystem", "MicroblogSystemBase"]
 
 
-class MicroblogSystem:
+class MicroblogSystemBase(ABC):
+    """Facade contract shared by the single-partition and sharded systems.
+
+    Subclass ``__init__`` must set ``config``, ``obs``, ``executor``,
+    ``clock``, and ``stats``; the base class implements everything that
+    is agnostic to how many partitions sit behind the executor.
+    """
+
+    config: SystemConfig
+    obs: Instrumentation
+    executor: QueryExecutor
+    clock: LogicalClock
+    stats: SystemStats
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @abstractmethod
+    def ingest(self, record: Microblog) -> bool:
+        """Digest one record; triggers a flush when memory fills.
+
+        Returns False when the record has no keys under the configured
+        attribute (e.g. a tweet without hashtags in a keyword system) and
+        was skipped.
+        """
+
+    def ingest_many(self, records: Iterable[Microblog]) -> int:
+        """Digest a batch; returns how many records were indexed."""
+        indexed = 0
+        for record in records:
+            if self.ingest(record):
+                indexed += 1
+        return indexed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def search(self, query: TopKQuery, now: Optional[float] = None) -> QueryResult:
+        """Evaluate a top-k query and record hit/miss statistics."""
+        executed_at = self.now if now is None else now
+        result = self.executor.execute(query, executed_at)
+        self.stats.queries.record(
+            query.mode, result.memory_hit, result.simulated_latency
+        )
+        return result
+
+    def fetch_records(self, result: QueryResult) -> list[Microblog]:
+        """Materialize the record bodies of a query result."""
+        return self.executor.materialize(result)
+
+    # ------------------------------------------------------------------
+    # Control and metrics
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def set_k(self, k: int) -> None:
+        """Change k at run time (Section IV-C); applies from the next
+        flush cycle onward."""
+
+    def snapshot(self) -> dict:
+        """Point-in-time view of the instrumentation registry: every
+        counter, gauge, and histogram this system's components recorded
+        (flush spans, per-mode query hits/misses, disk I/O, ...)."""
+        return self.obs.registry.snapshot()
+
+    def hit_ratio(self) -> float:
+        return self.stats.queries.hit_ratio
+
+    @abstractmethod
+    def k_filled_count(self) -> int:
+        """Keys whose provable in-memory top-k is complete (Fig 7)."""
+
+    @abstractmethod
+    def memory_utilization(self) -> float:
+        """Used fraction of the (total) memory budget."""
+
+    @abstractmethod
+    def frequency_snapshot(self) -> dict[Hashable, int]:
+        """Key -> in-memory posting count (the Figure 1 snapshot)."""
+
+    @abstractmethod
+    def flush_reports(self) -> list[FlushReport]:
+        """Every flush this system ran, in chronological order."""
+
+    def digestion_rate(self) -> float:
+        """Pure insert-path digestion rate (records per wall second)."""
+        return self.stats.ingest.digestion_rate
+
+    def effective_digestion_rate(self) -> float:
+        """Digestion rate charged with all work that contends with the
+        ingestion path in a real deployment: flushing and the policy
+        bookkeeping triggered by queries.  This is the Figure 10(b)
+        measure — it is what separates FIFO, kFlushing, kFlushing-MK, and
+        LRU when queries and flushes run alongside ingestion.
+        """
+        ingest = self.stats.ingest
+        total = ingest.insert_seconds + ingest.flush_seconds
+        total += self.executor.bookkeeping_seconds
+        if total <= 0.0:
+            return 0.0
+        return ingest.indexed / total
+
+    @abstractmethod
+    def policy_overhead_bytes(self) -> int:
+        """Modelled bytes of the policy's private bookkeeping (Fig 10a)."""
+
+    def latency_percentile(self, p: float) -> float:
+        """Simulated query-latency percentile (the intro's SLO measure):
+        memory hits cost microseconds, misses pay simulated disk I/O."""
+        return self.stats.queries.latency.percentile(p)
+
+    @abstractmethod
+    def check_integrity(self) -> None:
+        """Assert the system's internal invariants."""
+
+
+class MicroblogSystem(MicroblogSystemBase):
     """A complete microblogs data-management system (Figure 2)."""
 
     def __init__(
@@ -76,17 +205,7 @@ class MicroblogSystem:
     # Ingestion
     # ------------------------------------------------------------------
 
-    @property
-    def now(self) -> float:
-        return self.clock.now
-
     def ingest(self, record: Microblog) -> bool:
-        """Digest one record; triggers a flush when memory fills.
-
-        Returns False when the record has no keys under the configured
-        attribute (e.g. a tweet without hashtags in a keyword system) and
-        was skipped.
-        """
         self.clock.advance_to(record.timestamp)
         self.stats.ingest.offered += 1
         start = time.perf_counter()
@@ -100,14 +219,6 @@ class MicroblogSystem:
         if self.engine.needs_flush():
             self._flush()
         return True
-
-    def ingest_many(self, records: Iterable[Microblog]) -> int:
-        """Digest a batch; returns how many records were indexed."""
-        indexed = 0
-        for record in records:
-            if self.ingest(record):
-                indexed += 1
-        return indexed
 
     def _flush(self) -> FlushReport:
         before = self.engine.memory_bytes
@@ -133,39 +244,11 @@ class MicroblogSystem:
         return report
 
     # ------------------------------------------------------------------
-    # Queries
-    # ------------------------------------------------------------------
-
-    def search(self, query: TopKQuery, now: Optional[float] = None) -> QueryResult:
-        """Evaluate a top-k query and record hit/miss statistics."""
-        executed_at = self.now if now is None else now
-        result = self.executor.execute(query, executed_at)
-        self.stats.queries.record(
-            query.mode, result.memory_hit, result.simulated_latency
-        )
-        return result
-
-    def fetch_records(self, result: QueryResult) -> list[Microblog]:
-        """Materialize the record bodies of a query result."""
-        return self.executor.materialize(result)
-
-    # ------------------------------------------------------------------
     # Control and metrics
     # ------------------------------------------------------------------
 
     def set_k(self, k: int) -> None:
-        """Change k at run time (Section IV-C); applies from the next
-        flush cycle onward."""
         self.engine.set_k(k)
-
-    def snapshot(self) -> dict:
-        """Point-in-time view of the instrumentation registry: every
-        counter, gauge, and histogram this system's components recorded
-        (flush spans, per-mode query hits/misses, disk I/O, ...)."""
-        return self.obs.registry.snapshot()
-
-    def hit_ratio(self) -> float:
-        return self.stats.queries.hit_ratio
 
     def k_filled_count(self) -> int:
         return self.engine.k_filled_count()
@@ -179,31 +262,8 @@ class MicroblogSystem:
     def flush_reports(self) -> list[FlushReport]:
         return self.engine.flush_reports
 
-    def digestion_rate(self) -> float:
-        """Pure insert-path digestion rate (records per wall second)."""
-        return self.stats.ingest.digestion_rate
-
-    def effective_digestion_rate(self) -> float:
-        """Digestion rate charged with all work that contends with the
-        ingestion path in a real deployment: flushing and the policy
-        bookkeeping triggered by queries.  This is the Figure 10(b)
-        measure — it is what separates FIFO, kFlushing, kFlushing-MK, and
-        LRU when queries and flushes run alongside ingestion.
-        """
-        ingest = self.stats.ingest
-        total = ingest.insert_seconds + ingest.flush_seconds
-        total += self.executor.bookkeeping_seconds
-        if total <= 0.0:
-            return 0.0
-        return ingest.indexed / total
-
     def policy_overhead_bytes(self) -> int:
         return self.engine.policy_overhead_bytes
-
-    def latency_percentile(self, p: float) -> float:
-        """Simulated query-latency percentile (the intro's SLO measure):
-        memory hits cost microseconds, misses pay simulated disk I/O."""
-        return self.stats.queries.latency.percentile(p)
 
     def check_integrity(self) -> None:
         self.engine.check_integrity()

@@ -17,7 +17,10 @@ machine-dependent — compare trajectories on one machine only):
   stream prefix (flushes included);
 * ``flush``    — flush cost per freed MB per policy over the same run;
 * ``sweep``    — wall-clock of a small trial grid executed serially vs
-  through the process-parallel runner (``--jobs``).
+  through the process-parallel runner (``--jobs``);
+* ``shards``   — one steady-state trial per shard count: trial
+  wall-clock, hit ratio, and effective digestion rate at N ∈ {1, 2, 4}
+  hash-partitioned shards over a fixed total budget.
 
 Use ``benchmarks/perf/check_regression.py`` to gate a new file against a
 checked-in baseline.
@@ -32,7 +35,7 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
 from repro.experiments.parallel import run_trials
-from repro.experiments.runner import TrialSpec, _WARM_CHUNK
+from repro.experiments.runner import TrialSpec, _WARM_CHUNK, run_trial
 from repro.experiments.scale import PRESETS, ScalePreset
 
 __all__ = [
@@ -40,6 +43,7 @@ __all__ = [
     "bench_kfilled_sampling",
     "bench_digestion_and_flush",
     "bench_sweep_wallclock",
+    "bench_shard_scaling",
     "run_bench",
     "ALL_SUITES",
 ]
@@ -187,17 +191,59 @@ def bench_sweep_wallclock(
     return records
 
 
+def bench_shard_scaling(
+    preset: ScalePreset, seed: int, shard_counts: Sequence[int] = (1, 2, 4)
+) -> list[BenchRecord]:
+    """Steady-state trial cost and quality as the shard count grows.
+
+    Each point runs the standard ``run_trial`` protocol with the *same*
+    total memory budget hash-partitioned over N shards.  Wall-clock
+    prices the routing/fan-out overhead of the sharded facade; the hit
+    ratio and effective digestion rate track what partitioning does to
+    the paper's headline metrics (deterministic given the seed).
+    """
+    records: list[BenchRecord] = []
+    for n in shard_counts:
+        spec = TrialSpec(policy="kflushing", scale=preset, seed=seed, shards=n)
+        start = time.perf_counter()
+        result = run_trial(spec)
+        elapsed = time.perf_counter() - start
+        records.extend(
+            [
+                BenchRecord(
+                    f"shard_trial_wallclock_n{n}", "kflushing", elapsed, "s", seed
+                ),
+                BenchRecord(
+                    f"shard_hit_ratio_n{n}",
+                    "kflushing",
+                    100.0 * result.hit_ratio,
+                    "%",
+                    seed,
+                ),
+                BenchRecord(
+                    f"shard_effective_digestion_n{n}",
+                    "kflushing",
+                    result.effective_digestion_rate,
+                    "records/s",
+                    seed,
+                ),
+            ]
+        )
+    return records
+
+
 ALL_SUITES: dict[str, Callable[..., list[BenchRecord]]] = {
     "kfilled": lambda preset, seed, jobs: bench_kfilled_sampling(preset, seed),
     "digestion": lambda preset, seed, jobs: bench_digestion_and_flush(preset, seed),
     "sweep": bench_sweep_wallclock,
+    "shards": lambda preset, seed, jobs: bench_shard_scaling(preset, seed),
 }
 
 
 def run_bench(
     preset: Union[str, ScalePreset] = "tiny",
     seed: int = 42,
-    out: Optional[Union[str, Path]] = "BENCH_PR2.json",
+    out: Optional[Union[str, Path]] = "BENCH_PR3.json",
     jobs: int = 2,
     suites: Optional[Sequence[str]] = None,
 ) -> list[BenchRecord]:

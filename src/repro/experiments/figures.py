@@ -43,6 +43,7 @@ __all__ = [
     "fig10_overhead",
     "fig11_spatial",
     "fig12_user",
+    "shard_sweep",
     "ALL_FIGURES",
 ]
 
@@ -55,6 +56,7 @@ K_SWEEP = (5, 10, 20, 40, 60, 80, 100)
 K_SWEEP_SHORT = (5, 20, 40, 60, 80, 100)
 BUDGET_SWEEP = (0.2, 0.4, 0.6, 0.8, 1.0)
 MEMORY_SWEEP_GB = (10.0, 20.0, 30.0, 40.0, 50.0)
+SHARD_SWEEP = (1, 2, 4, 8)
 
 
 @dataclass
@@ -131,7 +133,9 @@ def _sweep(
 # Section V-A / Figure 1: snapshot of in-memory contents
 # ----------------------------------------------------------------------
 
-def fig1_snapshot(preset: ScalePreset = SMALL, seed: int = 42) -> FigureResult:
+def fig1_snapshot(
+    preset: ScalePreset = SMALL, seed: int = 42, shards: int = 1
+) -> FigureResult:
     """Memory-content snapshots under temporal flushing vs kFlushing.
 
     Reproduces the paper's motivating observation: under temporal (FIFO)
@@ -142,7 +146,7 @@ def fig1_snapshot(preset: ScalePreset = SMALL, seed: int = 42) -> FigureResult:
     """
     rows: list[list] = []
     for policy in ("fifo", "kflushing"):
-        spec = TrialSpec(policy=policy, scale=preset, seed=seed)
+        spec = TrialSpec(policy=policy, scale=preset, seed=seed, shards=shards)
         system = spec.build_system()
         stream = spec.build_stream()
         while (
@@ -270,7 +274,7 @@ def fig5_timeline(preset: ScalePreset = SMALL, seed: int = 42) -> FigureResult:
 # ----------------------------------------------------------------------
 
 def fig7_k_filled(
-    preset: ScalePreset = SMALL, seed: int = 42, jobs: int = 1
+    preset: ScalePreset = SMALL, seed: int = 42, jobs: int = 1, shards: int = 1
 ) -> FigureResult:
     def measure(result: TrialResult) -> float:
         return float(result.k_filled)
@@ -283,7 +287,9 @@ def fig7_k_filled(
             "k-filled keys",
             K_SWEEP,
             ALL_POLICIES,
-            lambda policy, x: TrialSpec(policy=policy, k=int(x), scale=preset, seed=seed),
+            lambda policy, x: TrialSpec(
+                policy=policy, k=int(x), scale=preset, seed=seed, shards=shards
+            ),
             measure,
             "Decreasing in k for all; kFlushing variants several times "
             "above FIFO and LRU (paper: >=7x FIFO, up to 3x LRU); "
@@ -298,7 +304,11 @@ def fig7_k_filled(
             [100 * b for b in BUDGET_SWEEP],
             ALL_POLICIES,
             lambda policy, x: TrialSpec(
-                policy=policy, flush_budget=x / 100.0, scale=preset, seed=seed
+                policy=policy,
+                flush_budget=x / 100.0,
+                scale=preset,
+                seed=seed,
+                shards=shards,
             ),
             measure,
             "Decreasing in budget; kFlushing variants 8-10x FIFO and "
@@ -312,7 +322,9 @@ def fig7_k_filled(
             "k-filled keys",
             MEMORY_SWEEP_GB,
             ALL_POLICIES,
-            lambda policy, x: TrialSpec(policy=policy, memory_gb=x, scale=preset, seed=seed),
+            lambda policy, x: TrialSpec(
+                policy=policy, memory_gb=x, scale=preset, seed=seed, shards=shards
+            ),
             measure,
             "kFlushing advantage largest at tight memory (paper: ~13x FIFO "
             "and ~50x LRU at 10GB), narrowing as memory grows.",
@@ -333,13 +345,19 @@ def _hit_figure(
     seed: int,
     expectation: str,
     jobs: int = 1,
+    shards: int = 1,
 ) -> FigureResult:
     def measure(result: TrialResult) -> float:
         return round(result.hit_percent, 2)
 
     def spec_k(policy: str, x: float) -> TrialSpec:
         return TrialSpec(
-            policy=policy, k=int(x), workload_mode=workload_mode, scale=preset, seed=seed
+            policy=policy,
+            k=int(x),
+            workload_mode=workload_mode,
+            scale=preset,
+            seed=seed,
+            shards=shards,
         )
 
     def spec_budget(policy: str, x: float) -> TrialSpec:
@@ -349,6 +367,7 @@ def _hit_figure(
             workload_mode=workload_mode,
             scale=preset,
             seed=seed,
+            shards=shards,
         )
 
     def spec_memory(policy: str, x: float) -> TrialSpec:
@@ -358,6 +377,7 @@ def _hit_figure(
             workload_mode=workload_mode,
             scale=preset,
             seed=seed,
+            shards=shards,
         )
 
     panels = [
@@ -407,7 +427,7 @@ def _hit_figure(
 
 
 def fig8_hit_correlated(
-    preset: ScalePreset = SMALL, seed: int = 42, jobs: int = 1
+    preset: ScalePreset = SMALL, seed: int = 42, jobs: int = 1, shards: int = 1
 ) -> FigureResult:
     return _hit_figure(
         "fig8",
@@ -418,11 +438,12 @@ def fig8_hit_correlated(
         "(paper: 12-20% absolute over FIFO, 2-18% over LRU); decreasing "
         "in k and flushing budget, increasing in memory budget.",
         jobs=jobs,
+        shards=shards,
     )
 
 
 def fig9_hit_uniform(
-    preset: ScalePreset = SMALL, seed: int = 42, jobs: int = 1
+    preset: ScalePreset = SMALL, seed: int = 42, jobs: int = 1, shards: int = 1
 ) -> FigureResult:
     return _hit_figure(
         "fig9",
@@ -433,6 +454,7 @@ def fig9_hit_uniform(
         "uniform load); kFlushing variants give large *relative* gains "
         "(paper: 100-330% over FIFO, 26-240% over LRU).",
         jobs=jobs,
+        shards=shards,
     )
 
 
@@ -445,6 +467,7 @@ def fig10_overhead(
     seed: int = 42,
     jobs: int = 1,
     digestion_seeds: int = 1,
+    shards: int = 1,
 ) -> FigureResult:
     """Figure 10 grid: one digestion-stress run per (policy, k).
 
@@ -465,7 +488,7 @@ def fig10_overhead(
     ]
     trial_results = run_trials(
         [
-            TrialSpec(policy=policy, k=k, scale=preset, seed=s)
+            TrialSpec(policy=policy, k=k, scale=preset, seed=s, shards=shards)
             for policy, k, s in grid
         ],
         jobs=jobs,
@@ -535,6 +558,7 @@ def _attribute_figure(
     preset: ScalePreset,
     seed: int,
     jobs: int = 1,
+    shards: int = 1,
 ) -> FigureResult:
     # Both panels draw from the same (policy, memory, mode) trial grid;
     # enumerate it once so the whole figure can fan out in parallel.
@@ -553,6 +577,7 @@ def _attribute_figure(
                 memory_gb=gb,
                 scale=preset,
                 seed=seed,
+                shards=shards,
             )
             for policy, gb, mode in points
         ],
@@ -609,17 +634,76 @@ def _attribute_figure(
 
 
 def fig11_spatial(
-    preset: ScalePreset = SMALL, seed: int = 42, jobs: int = 1
+    preset: ScalePreset = SMALL, seed: int = 42, jobs: int = 1, shards: int = 1
 ) -> FigureResult:
     return _attribute_figure(
-        "fig11", "spatial", "spatial tiles", preset, seed, jobs=jobs
+        "fig11", "spatial", "spatial tiles", preset, seed, jobs=jobs, shards=shards
     )
 
 
 def fig12_user(
-    preset: ScalePreset = SMALL, seed: int = 42, jobs: int = 1
+    preset: ScalePreset = SMALL, seed: int = 42, jobs: int = 1, shards: int = 1
 ) -> FigureResult:
-    return _attribute_figure("fig12", "user", "user ids", preset, seed, jobs=jobs)
+    return _attribute_figure(
+        "fig12", "user", "user ids", preset, seed, jobs=jobs, shards=shards
+    )
+
+
+# ----------------------------------------------------------------------
+# Shard-count sweep (sharded-architecture experiment; no paper analogue)
+# ----------------------------------------------------------------------
+
+def shard_sweep(
+    preset: ScalePreset = SMALL,
+    seed: int = 42,
+    jobs: int = 1,
+    shard_counts: Sequence[int] = SHARD_SWEEP,
+) -> FigureResult:
+    """Hit ratio and effective digestion rate vs shard count.
+
+    Every trial keeps the *total* memory budget fixed and splits it over
+    N hash-partitioned shards (capacity/N each, independent flush
+    cycles).  Two effects compete as N grows: per-shard flushes are
+    smaller and cheaper, but multi-key records are replicated into every
+    owning shard, so the same budget holds fewer distinct records — the
+    hit-ratio curve prices that replication.
+    """
+    policies = ("fifo", "kflushing")
+
+    def spec_for(policy: str, x: float) -> TrialSpec:
+        return TrialSpec(policy=policy, scale=preset, seed=seed, shards=int(x))
+
+    panels = [
+        _sweep(
+            "shardsa",
+            "hit ratio vs shard count",
+            "shards",
+            "hit ratio (%)",
+            list(shard_counts),
+            policies,
+            spec_for,
+            lambda result: round(result.hit_percent, 2),
+            "Gently decreasing in N (fan-out replication dilutes the "
+            "fixed total budget); kFlushing stays above FIFO at every N.",
+            jobs=jobs,
+        ),
+        _sweep(
+            "shardsb",
+            "effective digestion rate vs shard count",
+            "shards",
+            "digestion rate (K records/s)",
+            list(shard_counts),
+            policies,
+            spec_for,
+            lambda result: round(result.effective_digestion_rate / 1000.0, 1),
+            "Within a small factor of N=1 (single-process simulation pays "
+            "routing overhead without the parallel-flush win a threaded "
+            "deployment would collect); smaller per-shard flushes shorten "
+            "the ingestion stalls.",
+            jobs=jobs,
+        ),
+    ]
+    return FigureResult("shards", "Hash-partitioned shard-count sweep", panels)
 
 
 #: Registry used by the CLI and the benchmark harness.  The extension
@@ -633,4 +717,5 @@ ALL_FIGURES: dict[str, Callable[..., FigureResult]] = {
     "fig10": fig10_overhead,
     "fig11": fig11_spatial,
     "fig12": fig12_user,
+    "shards": shard_sweep,
 }

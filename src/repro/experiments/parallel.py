@@ -20,19 +20,29 @@ indistinguishable from a serial run:
 the trials inline — byte-identical to the pre-existing serial path, and
 the mode differential tests compare against.
 
-Caveat: trials running in worker processes record their instrumentation
-into the worker's registry, not the parent's, so an ``activated()``
-observation scope does not see events from parallel trials.  The CLI
-therefore keeps ``--metrics-out`` runs serial.
+Instrumentation under parallelism: worker processes cannot reach the
+parent's JSONL sink, so each trial writes its events to a private
+*metric shard* (``<metrics_path>.wNNN``, one per spec) and
+:func:`run_trials` concatenates the shards — in spec order — into the
+parent file after the pool drains.  The shard files are deleted after
+the merge.  The target path is either passed explicitly
+(``metrics_path=``) or discovered from the enclosing
+``repro.obs.activated`` scope when its sink is a
+:class:`~repro.obs.JsonlSink`; this is what lets the CLI combine
+``--jobs`` with ``--metrics-out``.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Optional, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
 
 from repro.experiments.runner import TrialResult, TrialSpec, run_trial
+from repro.obs import JsonlSink
+from repro.obs.runtime import get_active
 
 __all__ = ["run_trials", "resolve_jobs"]
 
@@ -50,22 +60,101 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return max(1, jobs)
 
 
+@dataclass(frozen=True)
+class _SinkedCall:
+    """Picklable wrapper running one trial with a private metric shard."""
+
+    runner: Callable[..., TrialResult]
+    metrics_path: str
+
+    def __call__(self, spec: TrialSpec) -> TrialResult:
+        return self.runner(spec, metrics_path=self.metrics_path)
+
+
+def _invoke(call: Callable[[TrialSpec], TrialResult], spec: TrialSpec) -> TrialResult:
+    """Module-level trampoline so ``pool.map`` can vary the callable."""
+    return call(spec)
+
+
+def _active_jsonl_sink() -> Optional[JsonlSink]:
+    """The enclosing observation scope's JSONL sink, if there is one."""
+    active = get_active()
+    sink = getattr(active, "sink", None)
+    return sink if isinstance(sink, JsonlSink) else None
+
+
+def _merge_metric_shards(
+    shard_paths: Sequence[Path],
+    parent_sink: Optional[JsonlSink],
+    metrics_path: Union[str, Path],
+) -> None:
+    """Concatenate worker metric shards into the parent metrics file.
+
+    Shards are merged in spec order, so the combined file groups each
+    trial's events contiguously (a serial run interleaves them the same
+    way).  Missing shards — a trial that never emitted — are skipped;
+    merged shards are deleted.
+    """
+    sink = parent_sink if parent_sink is not None else JsonlSink(metrics_path)
+    try:
+        for path in shard_paths:
+            if not path.exists():
+                continue
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.rstrip("\n")
+                    if line:
+                        sink.write_raw(line)
+            path.unlink()
+    finally:
+        if parent_sink is None:
+            sink.close()
+
+
 def run_trials(
     specs: Sequence[TrialSpec],
     jobs: Optional[int] = None,
-    runner: Callable[[TrialSpec], TrialResult] = run_trial,
+    runner: Callable[..., TrialResult] = run_trial,
+    metrics_path: Optional[Union[str, Path]] = None,
 ) -> list[TrialResult]:
     """Run a grid of trials, optionally across processes.
 
-    ``runner`` must be a picklable module-level callable taking one spec
-    (``run_trial`` or ``run_digestion_stress``).  Results are returned in
-    ``specs`` order; a failure in any trial propagates as the original
-    exception after the pool shuts down.
+    ``runner`` must be a picklable module-level callable taking a spec
+    plus a ``metrics_path`` keyword (``run_trial`` or
+    ``run_digestion_stress``).  Results are returned in ``specs`` order;
+    a failure in any trial propagates as the original exception after the
+    pool shuts down.
+
+    ``metrics_path`` streams every trial's instrumentation events to one
+    JSONL file even when ``jobs > 1`` (per-worker shards are merged after
+    the pool drains).  When omitted, an enclosing ``activated`` scope
+    with a JSONL sink is detected and its file is used as the merge
+    target — worker events then land in the same file the parent's own
+    events go to.
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
+    parent_sink = None
+    if metrics_path is None:
+        parent_sink = _active_jsonl_sink()
+        if parent_sink is not None:
+            metrics_path = parent_sink.path
     if jobs <= 1 or len(specs) <= 1:
+        if parent_sink is not None:
+            # Serial trials inside an activated scope already share the
+            # parent registry and sink; passing the path too would build
+            # a second system/sink pair for the same file.
+            return [runner(spec) for spec in specs]
+        if metrics_path is not None:
+            return [runner(spec, metrics_path=metrics_path) for spec in specs]
         return [runner(spec) for spec in specs]
     workers = min(jobs, len(specs))
+    if metrics_path is None:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(runner, specs, chunksize=1))
+    shard_paths = [Path(f"{metrics_path}.w{i:03d}") for i in range(len(specs))]
+    calls = [_SinkedCall(runner, str(path)) for path in shard_paths]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(runner, specs, chunksize=1))
+        results = list(pool.map(_invoke, calls, specs, chunksize=1))
+    _merge_metric_shards(shard_paths, parent_sink, metrics_path)
+    return results

@@ -25,7 +25,8 @@ from typing import Optional, Union
 
 from repro.config import SystemConfig
 from repro.engine.queries import CombineMode
-from repro.engine.system import MicroblogSystem
+from repro.engine.sharded import build_system as build_system_from_config
+from repro.engine.system import MicroblogSystemBase
 from repro.engine.stats import QueryStats
 from repro.errors import ConfigurationError
 from repro.obs import Instrumentation, JsonlSink
@@ -64,8 +65,13 @@ class TrialSpec:
     #: instead of the paper's operational one; used by the AND-semantics
     #: ablation.
     strict_and: bool = False
+    #: Hash-partitioned shard count (1 = the paper's single partition).
+    shards: int = 1
+    #: Build the sharded facade even at ``shards=1`` (the differential
+    #: test's hook for proving the sharded path is bit-identical).
+    force_sharded: bool = False
 
-    def build_system(self, obs: Optional[Instrumentation] = None) -> MicroblogSystem:
+    def build_system(self, obs: Optional[Instrumentation] = None) -> MicroblogSystemBase:
         config = SystemConfig(
             policy=self.policy,
             attribute=self.attribute,
@@ -75,8 +81,14 @@ class TrialSpec:
             and_scan_depth=max(self.scale.and_scan_depth, self.k),
             and_disk_limit=max(self.scale.and_disk_limit, self.k),
             tile_side_degrees=self.scale.tile_side_degrees,
+            shards=self.shards,
         )
-        return MicroblogSystem(config, strict_and=self.strict_and, obs=obs)
+        return build_system_from_config(
+            config,
+            strict_and=self.strict_and,
+            obs=obs,
+            force_sharded=self.force_sharded,
+        )
 
     def build_stream(self) -> MicroblogStream:
         kwargs = dict(
@@ -125,7 +137,7 @@ class TrialResult:
         return 100.0 * self.hit_ratio
 
 
-def _warm_up(system: MicroblogSystem, stream: MicroblogStream, spec: TrialSpec) -> int:
+def _warm_up(system: MicroblogSystemBase, stream: MicroblogStream, spec: TrialSpec) -> int:
     """Ingest until steady state (several flushes) and return the count."""
     warmed = 0
     while (
@@ -145,7 +157,7 @@ def _trial_obs(metrics_path: Optional[Union[str, Path]]) -> Optional[Instrumenta
 
 
 def _finish_trial_metrics(
-    system: MicroblogSystem, spec: TrialSpec, obs: Optional[Instrumentation]
+    system: MicroblogSystemBase, spec: TrialSpec, obs: Optional[Instrumentation]
 ) -> None:
     """Append the end-of-trial registry snapshot and release the sink."""
     if obs is None:
@@ -162,7 +174,7 @@ def _finish_trial_metrics(
 
 
 def _collect_result(
-    system: MicroblogSystem,
+    system: MicroblogSystemBase,
     spec: TrialSpec,
     ingest0: tuple[int, float, float],
     book0: float,

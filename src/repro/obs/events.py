@@ -72,10 +72,19 @@ class JsonlSink(EventSink):
         self._handle: Optional[IO[str]] = None
 
     def emit(self, event: dict) -> None:
+        self.write_raw(json.dumps(event, sort_keys=True))
+
+    def write_raw(self, line: str) -> None:
+        """Append one pre-serialised JSONL line verbatim.
+
+        The parallel trial runner merges per-worker metric shards into the
+        parent's sink through this path — the lines are already JSON, so
+        re-parsing them just to re-serialise would be waste.
+        """
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(json.dumps(event, sort_keys=True))
+        self._handle.write(line)
         self._handle.write("\n")
         self._handle.flush()
 

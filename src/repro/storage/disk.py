@@ -76,6 +76,7 @@ class DiskArchive:
         model: MemoryModel,
         cost_model: Optional[DiskCostModel] = None,
         obs: Optional[Instrumentation] = None,
+        shard_id: Optional[int] = None,
     ) -> None:
         self._model = model
         self._cost = cost_model or DiskCostModel()
@@ -85,6 +86,19 @@ class DiskArchive:
         self._index: dict[Hashable, list[Posting]] = {}
         self.stats = DiskStats()
         self.obs = obs if obs is not None else Instrumentation()
+        #: Which shard's namespace this archive holds (None = unsharded).
+        #: A sharded system builds one archive per shard; the shard id
+        #: labels this archive's counters so ``snapshot()`` can expose
+        #: per-shard I/O alongside the aggregate ``disk.*`` series.
+        self.shard_id = shard_id
+        self._shard_prefix = None if shard_id is None else f"shard.{shard_id}.disk."
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        """Increment the aggregate counter and its per-shard twin."""
+        registry = self.obs.registry
+        registry.counter(f"disk.{name}").inc(amount)
+        if self._shard_prefix is not None:
+            registry.counter(self._shard_prefix + name).inc(amount)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -142,11 +156,10 @@ class DiskArchive:
         self.stats.postings_written += npostings
         self.stats.bytes_written += nbytes
         self.stats.simulated_io_seconds += self._cost.write_cost(nbytes)
-        registry = self.obs.registry
-        registry.counter("disk.flush_batches").inc()
-        registry.counter("disk.records_written").inc(nrecords)
-        registry.counter("disk.postings_written").inc(npostings)
-        registry.counter("disk.bytes_written").inc(nbytes)
+        self._count("flush_batches")
+        self._count("records_written", nrecords)
+        self._count("postings_written", npostings)
+        self._count("bytes_written", nbytes)
         return nbytes
 
     # ------------------------------------------------------------------
@@ -169,9 +182,8 @@ class DiskArchive:
         self.stats.index_lookups += 1
         self.stats.bytes_read += nbytes
         self.stats.simulated_io_seconds += self._cost.read_cost(nbytes)
-        registry = self.obs.registry
-        registry.counter("disk.index_lookups").inc()
-        registry.counter("disk.bytes_read").inc(nbytes)
+        self._count("index_lookups")
+        self._count("bytes_read", nbytes)
         return result
 
     def fetch_record(self, blog_id: int) -> Optional[Microblog]:
@@ -183,9 +195,8 @@ class DiskArchive:
         self.stats.record_fetches += 1
         self.stats.bytes_read += nbytes
         self.stats.simulated_io_seconds += self._cost.read_cost(nbytes)
-        registry = self.obs.registry
-        registry.counter("disk.record_fetches").inc()
-        registry.counter("disk.bytes_read").inc(nbytes)
+        self._count("record_fetches")
+        self._count("bytes_read", nbytes)
         return record
 
     def peek_record(self, blog_id: int) -> Optional[Microblog]:

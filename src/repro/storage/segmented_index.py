@@ -18,6 +18,7 @@ from repro.errors import DuplicateRecordError
 from repro.model.microblog import Microblog
 from repro.storage.memory_model import MemoryModel
 from repro.storage.posting_list import MIN_SORT_KEY, Posting, PostingList, SortKey
+from repro.storage.topk import merge_topk
 
 __all__ = ["Segment", "SegmentedIndex"]
 
@@ -138,15 +139,12 @@ class SegmentedIndex:
         gathered before the global merge — the correct global top-``depth``
         at a fraction of the cost for hot keys spanning many segments.
         """
-        gathered: list[Posting] = []
+        groups = []
         for segment in self._segments:
             entry = segment.postings_for(key)
             if entry is not None:
-                gathered.extend(entry if depth is None else entry.top(depth))
-        gathered.sort(key=lambda p: p.sort_key, reverse=True)
-        if depth is not None:
-            del gathered[depth:]
-        return gathered
+                groups.append(entry if depth is None else entry.top(depth))
+        return merge_topk(groups, depth)
 
     def key_posting_counts(self) -> dict[Hashable, int]:
         """Aggregate in-memory posting count per key (metrics only)."""

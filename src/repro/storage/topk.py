@@ -1,0 +1,51 @@
+"""Shared top-k merge: one implementation for every merge site.
+
+Top-k merging appears at three layers of the system — the query
+executor's memory/disk merge, the sharded scatter-gather path, and the
+segmented index's cross-segment candidate gather — and they must agree
+exactly (same dedup rule, same ordering, same tie behaviour) or the
+differential tests between those paths become meaningless.  This module
+is the single implementation they all call.
+
+Semantics:
+
+* groups are consumed in the given order; the *first* posting seen for a
+  blog id wins (relevant when the same record appears in a memory group
+  and a disk group — both carry identical sort keys, so this only
+  matters for object identity);
+* the merged list is sorted best rank first by
+  :attr:`~repro.storage.posting_list.Posting.sort_key`; Python's sort is
+  stable, so equal keys keep group order;
+* ``k=None`` disables truncation (the segmented index's unbounded
+  gather).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.storage.posting_list import Posting
+
+__all__ = ["merge_topk"]
+
+
+def merge_topk(
+    groups: Iterable[Sequence[Posting]], k: Optional[int]
+) -> list[Posting]:
+    """Deduplicated top-k across posting groups, best rank first.
+
+    ``groups`` is any iterable of posting sequences (lists, tuples,
+    :class:`~repro.storage.posting_list.BestFirstView` objects).  With
+    ``k=None`` the full deduplicated merge is returned.
+    """
+    seen: set[int] = set()
+    merged: list[Posting] = []
+    for group in groups:
+        for posting in group:
+            if posting.blog_id not in seen:
+                seen.add(posting.blog_id)
+                merged.append(posting)
+    merged.sort(key=lambda p: p.sort_key, reverse=True)
+    if k is not None:
+        del merged[k:]
+    return merged
