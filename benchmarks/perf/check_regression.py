@@ -5,11 +5,12 @@ Usage::
     python benchmarks/perf/check_regression.py BENCH_PR2.json \
         benchmarks/perf/baseline_tiny.json --tolerance 0.30
 
-Only ``digestion_rate`` records are compared (wall-clock suites vary too
-much across machines to gate on): for every (metric, policy) pair present
-in both files, the new rate must be at least ``(1 - tolerance)`` of the
-baseline rate.  Faster is always fine; pairs missing from either file are
-reported but not fatal.  Exits non-zero on any regression.
+Only throughput records are compared (wall-clock suites vary too much
+across machines to gate on): ``digestion_rate`` plus the disk-tier
+commit/lookup throughput metrics.  For every (metric, policy) pair
+present in both files, the new rate must be at least ``(1 - tolerance)``
+of the baseline rate.  Faster is always fine; pairs missing from either
+file are reported but not fatal.  Exits non-zero on any regression.
 """
 
 from __future__ import annotations
@@ -19,7 +20,15 @@ import json
 import sys
 from pathlib import Path
 
-GATED_METRICS = ("digestion_rate",)
+GATED_METRICS = (
+    "digestion_rate",
+    # Disk-tier throughput/speedup gates (PR 4): commit must stay fast
+    # under the segmented-runs layout, and its advantage over the flat
+    # reference layout must hold.
+    "disk_commit_postings_per_s",
+    "disk_commit_speedup",
+    "disk_lookup_unbounded_speedup",
+)
 
 
 def _load(path: Path) -> dict[tuple[str, str], float]:

@@ -8,15 +8,19 @@ Subcommands
     Run one figure experiment (or ``all``) and print its tables;
     ``--jobs`` fans the figure's trial grid out over worker processes
     (results are identical to a serial run); ``--shards`` hash-partitions
-    each trial's system over N shards; ``--metrics-out`` streams every
-    instrumentation event of the run (flush spans, query events, final
-    snapshot) to a JSONL file — parallel workers write per-trial metric
-    shards that are merged into the same file after the pool drains.
-``bench [--preset tiny] [--seed 42] [--jobs 2] [--out BENCH_PR3.json]``
+    each trial's system over N shards; ``--disk-cache-bytes`` /
+    ``--disk-elide-empty`` enable the modelled disk read cache and
+    negative-lookup elision (both off by default — answers never change,
+    only disk-lookup counts and simulated latency); ``--metrics-out``
+    streams every instrumentation event of the run (flush spans, query
+    events, final snapshot) to a JSONL file — parallel workers write
+    per-trial metric shards that are merged into the same file after the
+    pool drains.
+``bench [--preset tiny] [--seed 42] [--jobs 2] [--out BENCH_PR4.json]``
     Run the performance benchmark suites (k-filled sampling, digestion
-    rate, flush cost, sweep wall-clock, shard scaling) and write the
-    perf-trajectory JSON (see docs/PERFORMANCE.md).
-``stats [--shards 4]``
+    rate, flush cost, sweep wall-clock, shard scaling, disk tier) and
+    write the perf-trajectory JSON (see docs/PERFORMANCE.md).
+``stats [--shards 4] [--disk-cache-bytes N] [--disk-elide-empty]``
     Run a tiny synthetic workload and dump the instrumentation registry
     (flush phase spans, per-mode query counters, disk I/O, per-shard
     gauges when sharded) as JSON or Prometheus-style text; the system's
@@ -59,13 +63,20 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _figure_kwargs(fn, seed: int, jobs: int, shards: int = 1) -> dict:
+def _figure_kwargs(
+    fn,
+    seed: int,
+    jobs: int,
+    shards: int = 1,
+    disk_cache_bytes: int = 0,
+    disk_elide_empty: bool = False,
+) -> dict:
     """Keyword arguments for one figure function.
 
-    ``jobs`` and ``shards`` are forwarded only to figures whose
-    signatures support them (the extension experiments, for instance,
-    run serially; fig5 is an engine-level experiment with no sharded
-    variant).
+    ``jobs``, ``shards``, and the disk-tier gates are forwarded only to
+    figures whose signatures support them (the extension experiments,
+    for instance, run serially; fig5 is an engine-level experiment with
+    no sharded variant).
     """
     kwargs = {"seed": seed}
     params = inspect.signature(fn).parameters
@@ -73,6 +84,10 @@ def _figure_kwargs(fn, seed: int, jobs: int, shards: int = 1) -> dict:
         kwargs["jobs"] = jobs
     if shards > 1 and "shards" in params:
         kwargs["shards"] = shards
+    if disk_cache_bytes > 0 and "disk_cache_bytes" in params:
+        kwargs["disk_cache_bytes"] = disk_cache_bytes
+    if disk_elide_empty and "disk_elide_empty" in params:
+        kwargs["disk_elide_empty"] = disk_elide_empty
     return kwargs
 
 
@@ -87,7 +102,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         obs = Instrumentation(sink=JsonlSink(args.metrics_out))
     for name in names:
         fn = ALL_FIGURES[name]
-        kwargs = _figure_kwargs(fn, args.seed, jobs, args.shards)
+        kwargs = _figure_kwargs(
+            fn,
+            args.seed,
+            jobs,
+            args.shards,
+            disk_cache_bytes=args.disk_cache_bytes,
+            disk_elide_empty=args.disk_elide_empty,
+        )
         start = time.perf_counter()
         if obs is not None:
             # Every system built inside the figure shares this registry
@@ -137,6 +159,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         and_scan_depth=500,
         and_disk_limit=500,
         shards=args.shards,
+        disk_cache_bytes=args.disk_cache_bytes,
+        disk_elide_empty=args.disk_elide_empty,
     )
     system = build_system(config, obs=obs)
     stream = MicroblogStream(
@@ -255,6 +279,24 @@ def build_parser() -> argparse.ArgumentParser:
             "(works with --jobs: worker metric shards are merged in)"
         ),
     )
+    run.add_argument(
+        "--disk-cache-bytes",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "modelled disk read-cache budget in bytes (0 = off, the "
+            "paper's accounting; cache hits skip the seek)"
+        ),
+    )
+    run.add_argument(
+        "--disk-elide-empty",
+        action="store_true",
+        help=(
+            "skip disk lookups for keys the archive provably holds no "
+            "postings for (never changes answers)"
+        ),
+    )
     run.set_defaults(fn=_cmd_run)
 
     bench = sub.add_parser(
@@ -272,7 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        default="BENCH_PR3.json",
+        default="BENCH_PR4.json",
         metavar="PATH",
         help="where to write the benchmark records (JSON)",
     )
@@ -326,6 +368,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also stream per-flush/per-query events to this JSONL file",
+    )
+    stats.add_argument(
+        "--disk-cache-bytes",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "modelled disk read-cache budget in bytes (0 = off, the "
+            "paper's accounting; cache hits skip the seek)"
+        ),
+    )
+    stats.add_argument(
+        "--disk-elide-empty",
+        action="store_true",
+        help=(
+            "skip disk lookups for keys the archive provably holds no "
+            "postings for (never changes answers)"
+        ),
     )
     stats.set_defaults(fn=_cmd_stats)
 

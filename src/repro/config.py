@@ -62,6 +62,16 @@ class SystemConfig:
         None, ``memory_capacity_bytes`` is split evenly across shards
         (the first ``memory_capacity_bytes % shards`` shards absorb the
         remainder byte each).
+    disk_cache_bytes:
+        Byte budget of the modelled disk read cache (0 = off, the
+        default: the paper's cost accounting, every lookup pays a seek).
+        Sharded systems split the budget across shards the same way the
+        memory budget is split (see :meth:`disk_cache_capacity`).
+    disk_elide_empty:
+        When True, the query executor skips disk lookups for keys the
+        archive provably holds no postings for (counted under
+        ``disk.lookups_elided``).  Off by default; never changes
+        answers, only disk-lookup counts and simulated latency.
     """
 
     policy: str = "kflushing"
@@ -83,6 +93,10 @@ class SystemConfig:
     shards: int = 1
     #: Optional per-shard budgets overriding the even capacity/N split.
     shard_capacity_bytes: Union[tuple[int, ...], None] = None
+    #: Modelled disk read-cache budget in bytes (0 = cache off).
+    disk_cache_bytes: int = 0
+    #: Skip provably-empty disk lookups on the executor miss paths.
+    disk_elide_empty: bool = False
 
     def __post_init__(self) -> None:
         names = policy_names()
@@ -125,6 +139,10 @@ class SystemConfig:
                     raise ConfigurationError(
                         f"shard_capacity_bytes[{i}] must be positive, got {budget}"
                     )
+        if self.disk_cache_bytes < 0:
+            raise ConfigurationError(
+                f"disk_cache_bytes must be non-negative, got {self.disk_cache_bytes}"
+            )
         # Fail fast on unknown names rather than at system build time.
         self.build_attribute()
         self.build_ranking()
@@ -144,6 +162,21 @@ class SystemConfig:
         if self.shard_capacity_bytes is not None:
             return self.shard_capacity_bytes[shard_id]
         base, remainder = divmod(self.memory_capacity_bytes, self.shards)
+        return base + (1 if shard_id < remainder else 0)
+
+    def disk_cache_capacity(self, shard_id: int) -> int:
+        """Disk-cache byte budget of one shard.
+
+        Mirrors :meth:`shard_capacity`: the global ``disk_cache_bytes``
+        is split evenly with the first ``budget % shards`` shards
+        absorbing one remainder byte each, so per-shard caches always
+        sum to the configured total.  Returns 0 when the cache is off.
+        """
+        if not 0 <= shard_id < self.shards:
+            raise ConfigurationError(
+                f"shard_id must be in [0, {self.shards}), got {shard_id}"
+            )
+        base, remainder = divmod(self.disk_cache_bytes, self.shards)
         return base + (1 if shard_id < remainder else 0)
 
     @property

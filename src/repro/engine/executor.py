@@ -170,7 +170,12 @@ class QueryExecutor:
         if top is not None:
             return QueryResult(query, top, True, True, 0, now)
         # Memory miss: the true top-k is contained in the union of the
-        # memory top-k candidates and the disk's per-key top-k.
+        # memory top-k candidates and the disk's per-key top-k.  A disk
+        # that provably holds nothing for the key contributes nothing to
+        # that union, so the lookup (and its seek) can be elided.
+        if self._disk.elides(key):
+            merged = _merge_topk([list(lookup.candidates)], query.k)
+            return QueryResult(query, tuple(merged), False, True, 0, now)
         disk_top = self._disk.lookup(key, limit=query.k)
         merged = _merge_topk([list(lookup.candidates), disk_top], query.k)
         return QueryResult(query, tuple(merged), False, True, 1, now)
@@ -194,6 +199,8 @@ class QueryExecutor:
                 groups.append(list(top))
                 continue
             groups.append(list(lookup.candidates))
+            if self._disk.elides(lookup.key):
+                continue
             groups.append(self._disk.lookup(lookup.key, limit=query.k))
             disk_lookups += 1
         merged = _merge_topk(groups, query.k)
@@ -233,6 +240,9 @@ class QueryExecutor:
         full_sets: list[dict[int, Posting]] = []
         for lookup in lookups:
             by_id = {p.blog_id: p for p in lookup.candidates}
+            if self._disk.elides(lookup.key):
+                full_sets.append(by_id)
+                continue
             disk_postings = self._disk.lookup(lookup.key, limit=self._and_disk_limit)
             if (
                 self._and_disk_limit is not None

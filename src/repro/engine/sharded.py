@@ -165,7 +165,14 @@ class Shard:
         self.shard_id = shard_id
         self.capacity_bytes = config.shard_capacity(shard_id)
         self.disk = DiskArchive(
-            config.memory_model, config.disk_cost, obs=obs, shard_id=shard_id
+            config.memory_model,
+            config.disk_cost,
+            obs=obs,
+            shard_id=shard_id,
+            # Each shard caches its own key namespace; the global budget
+            # is sliced the same way the memory budget is.
+            cache_bytes=config.disk_cache_capacity(shard_id),
+            elide_empty=config.disk_elide_empty,
         )
         self.attribute = ShardAttributeView(attribute, router, shard_id)
         self.engine: MemoryEngine = create_engine(
@@ -215,6 +222,10 @@ class _RoutedDisk:
 
     def lookup(self, key: Hashable, limit: Optional[int] = None):
         return self._shards[self._router.shard_of(key)].disk.lookup(key, limit=limit)
+
+    def elides(self, key: Hashable) -> bool:
+        """Route the negative-lookup check to the shard owning ``key``."""
+        return self._shards[self._router.shard_of(key)].disk.elides(key)
 
     def fetch_record(self, blog_id: int) -> Optional[Microblog]:
         for shard in self._shards:

@@ -178,7 +178,13 @@ class MicroblogSystem(MicroblogSystemBase):
         self.obs = obs if obs is not None else (get_active() or Instrumentation())
         self.attribute = config.build_attribute()
         self.ranking = config.build_ranking()
-        self.disk = DiskArchive(config.memory_model, config.disk_cost, obs=self.obs)
+        self.disk = DiskArchive(
+            config.memory_model,
+            config.disk_cost,
+            obs=self.obs,
+            cache_bytes=config.disk_cache_bytes,
+            elide_empty=config.disk_elide_empty,
+        )
         self.engine: MemoryEngine = create_engine(
             config.policy,
             model=config.memory_model,

@@ -20,7 +20,12 @@ machine-dependent — compare trajectories on one machine only):
   through the process-parallel runner (``--jobs``);
 * ``shards``   — one steady-state trial per shard count: trial
   wall-clock, hit ratio, and effective digestion rate at N ∈ {1, 2, 4}
-  hash-partitioned shards over a fixed total budget.
+  hash-partitioned shards over a fixed total budget;
+* ``disk``     — disk-tier micro-benchmarks on a skewed synthetic flush
+  workload: ``commit_flush`` posting throughput under the segmented-runs
+  layout vs the flat per-posting ``insort`` it replaced, bounded top-k
+  lookup latency under both, and the cost of an unbounded lookup (lazy
+  merged view vs the old full reversed copy).
 
 Use ``benchmarks/perf/check_regression.py`` to gate a new file against a
 checked-in baseline.
@@ -29,14 +34,18 @@ checked-in baseline.
 from __future__ import annotations
 
 import json
+import random
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Hashable, Optional, Sequence, Union
 
 from repro.experiments.parallel import run_trials
 from repro.experiments.runner import TrialSpec, _WARM_CHUNK, run_trial
 from repro.experiments.scale import PRESETS, ScalePreset
+from repro.storage.disk import DiskArchive
+from repro.storage.memory_model import MemoryModel
+from repro.storage.posting_list import Posting
 
 __all__ = [
     "BenchRecord",
@@ -44,6 +53,7 @@ __all__ = [
     "bench_digestion_and_flush",
     "bench_sweep_wallclock",
     "bench_shard_scaling",
+    "bench_disk_tier",
     "run_bench",
     "ALL_SUITES",
 ]
@@ -232,18 +242,143 @@ def bench_shard_scaling(
     return records
 
 
+def _disk_flush_batches(
+    seed: int, batches: int, hot_batch: int, cold_keys: int, cold_batch: int
+) -> list[dict[Hashable, list[Posting]]]:
+    """Skewed synthetic flush batches: one hot key plus a cold tail.
+
+    Every batch is internally rank-sorted (the shape ``FlushBuffer``
+    produces) but batch score ranges overlap, so the flat layout insorts
+    most postings mid-list — the paper's append-heavy reality where new
+    flushes interleave with history — while the runs layout appends each
+    batch O(1).
+    """
+    rng = random.Random(seed)
+    out: list[dict[Hashable, list[Posting]]] = []
+    blog_id = 0
+    for _ in range(batches):
+        by_key: dict[Hashable, list[Posting]] = {}
+        hot = []
+        for _ in range(hot_batch):
+            hot.append(Posting(rng.random(), rng.random(), blog_id))
+            blog_id += 1
+        hot.sort()
+        by_key["hot"] = hot
+        for c in range(cold_keys):
+            cold = []
+            for _ in range(cold_batch):
+                cold.append(Posting(rng.random(), rng.random(), blog_id))
+                blog_id += 1
+            cold.sort()
+            by_key[f"cold{c}"] = cold
+        out.append(by_key)
+    return out
+
+
+def bench_disk_tier(
+    preset: ScalePreset,
+    seed: int,
+    batches: int = 300,
+    hot_batch: int = 200,
+    cold_keys: int = 8,
+    cold_batch: int = 4,
+) -> list[BenchRecord]:
+    """Disk-tier commit/lookup micro-benchmarks, runs layout vs flat.
+
+    Two archives ingest the identical skewed flush workload: one with the
+    segmented-runs index (``use_runs=True``, the default) and one with
+    the flat per-posting-``insort`` index it replaced.  Both must agree
+    on every lookup (asserted here, not just in tests); the records
+    quantify commit throughput, bounded top-k lookup latency, and the
+    cost of the unbounded-lookup call (lazy merged view vs the old full
+    reversed copy — the copy the AND miss path immediately dict-ified).
+    """
+    workload = _disk_flush_batches(seed, batches, hot_batch, cold_keys, cold_batch)
+    total_postings = sum(
+        len(postings) for by_key in workload for postings in by_key.values()
+    )
+    model = MemoryModel()
+    archives = {
+        "segmented-runs": DiskArchive(model, use_runs=True),
+        "flat-insort": DiskArchive(model, use_runs=False),
+    }
+    records: list[BenchRecord] = []
+    rates: dict[str, float] = {}
+    for name, archive in archives.items():
+        start = time.perf_counter()
+        for by_key in workload:
+            archive.commit_flush((), by_key)
+        elapsed = time.perf_counter() - start
+        rates[name] = total_postings / elapsed if elapsed > 0 else float("inf")
+        records.append(
+            BenchRecord(
+                "disk_commit_postings_per_s", name, rates[name], "postings/s", seed
+            )
+        )
+    runs, flat = archives["segmented-runs"], archives["flat-insort"]
+    assert list(runs.lookup("hot", limit=50)) == list(flat.lookup("hot", limit=50)), (
+        "segmented-runs lookup diverged from the flat reference"
+    )
+    assert list(runs.lookup("hot")) == list(flat.lookup("hot")), (
+        "unbounded merged view diverged from the flat reference"
+    )
+    records.append(
+        BenchRecord(
+            "disk_commit_speedup",
+            "runs-vs-flat",
+            rates["segmented-runs"] / rates["flat-insort"],
+            "x",
+            seed,
+        )
+    )
+    lookup_repeats = 400
+    for name, archive in archives.items():
+        start = time.perf_counter()
+        for _ in range(lookup_repeats):
+            archive.lookup("hot", limit=20)
+        top_us = (time.perf_counter() - start) / lookup_repeats * 1e6
+        records.append(
+            BenchRecord("disk_lookup_top20_us", name, top_us, "us", seed)
+        )
+    # The unbounded-lookup call itself: the old path eagerly built a full
+    # reversed copy of the hot key's postings; the merged view is O(runs)
+    # to construct and merges lazily as the caller drains it.
+    unbounded_us: dict[str, float] = {}
+    for name, archive in (("merged-view", runs), ("reversed-copy", flat)):
+        start = time.perf_counter()
+        for _ in range(lookup_repeats):
+            archive.lookup("hot")
+        unbounded_us[name] = (time.perf_counter() - start) / lookup_repeats * 1e6
+        records.append(
+            BenchRecord(
+                "disk_lookup_unbounded_us", name, unbounded_us[name], "us", seed
+            )
+        )
+    records.append(
+        BenchRecord(
+            "disk_lookup_unbounded_speedup",
+            "view-vs-copy",
+            unbounded_us["reversed-copy"] / unbounded_us["merged-view"],
+            "x",
+            seed,
+        )
+    )
+    return records
+
+
 ALL_SUITES: dict[str, Callable[..., list[BenchRecord]]] = {
     "kfilled": lambda preset, seed, jobs: bench_kfilled_sampling(preset, seed),
     "digestion": lambda preset, seed, jobs: bench_digestion_and_flush(preset, seed),
     "sweep": bench_sweep_wallclock,
     "shards": lambda preset, seed, jobs: bench_shard_scaling(preset, seed),
+    "disk": lambda preset, seed, jobs: bench_disk_tier(preset, seed),
 }
 
 
 def run_bench(
     preset: Union[str, ScalePreset] = "tiny",
     seed: int = 42,
-    out: Optional[Union[str, Path]] = "BENCH_PR3.json",
+    out: Optional[Union[str, Path]] = "BENCH_PR4.json",
     jobs: int = 2,
     suites: Optional[Sequence[str]] = None,
 ) -> list[BenchRecord]:

@@ -134,7 +134,11 @@ def _sweep(
 # ----------------------------------------------------------------------
 
 def fig1_snapshot(
-    preset: ScalePreset = SMALL, seed: int = 42, shards: int = 1
+    preset: ScalePreset = SMALL,
+    seed: int = 42,
+    shards: int = 1,
+    disk_cache_bytes: int = 0,
+    disk_elide_empty: bool = False,
 ) -> FigureResult:
     """Memory-content snapshots under temporal flushing vs kFlushing.
 
@@ -146,7 +150,14 @@ def fig1_snapshot(
     """
     rows: list[list] = []
     for policy in ("fifo", "kflushing"):
-        spec = TrialSpec(policy=policy, scale=preset, seed=seed, shards=shards)
+        spec = TrialSpec(
+            policy=policy,
+            scale=preset,
+            seed=seed,
+            shards=shards,
+            disk_cache_bytes=disk_cache_bytes,
+            disk_elide_empty=disk_elide_empty,
+        )
         system = spec.build_system()
         stream = spec.build_stream()
         while (
@@ -274,8 +285,17 @@ def fig5_timeline(preset: ScalePreset = SMALL, seed: int = 42) -> FigureResult:
 # ----------------------------------------------------------------------
 
 def fig7_k_filled(
-    preset: ScalePreset = SMALL, seed: int = 42, jobs: int = 1, shards: int = 1
+    preset: ScalePreset = SMALL,
+    seed: int = 42,
+    jobs: int = 1,
+    shards: int = 1,
+    disk_cache_bytes: int = 0,
+    disk_elide_empty: bool = False,
 ) -> FigureResult:
+    disk_kwargs = dict(
+        disk_cache_bytes=disk_cache_bytes, disk_elide_empty=disk_elide_empty
+    )
+
     def measure(result: TrialResult) -> float:
         return float(result.k_filled)
 
@@ -288,7 +308,12 @@ def fig7_k_filled(
             K_SWEEP,
             ALL_POLICIES,
             lambda policy, x: TrialSpec(
-                policy=policy, k=int(x), scale=preset, seed=seed, shards=shards
+                policy=policy,
+                k=int(x),
+                scale=preset,
+                seed=seed,
+                shards=shards,
+                **disk_kwargs,
             ),
             measure,
             "Decreasing in k for all; kFlushing variants several times "
@@ -309,6 +334,7 @@ def fig7_k_filled(
                 scale=preset,
                 seed=seed,
                 shards=shards,
+                **disk_kwargs,
             ),
             measure,
             "Decreasing in budget; kFlushing variants 8-10x FIFO and "
@@ -323,7 +349,12 @@ def fig7_k_filled(
             MEMORY_SWEEP_GB,
             ALL_POLICIES,
             lambda policy, x: TrialSpec(
-                policy=policy, memory_gb=x, scale=preset, seed=seed, shards=shards
+                policy=policy,
+                memory_gb=x,
+                scale=preset,
+                seed=seed,
+                shards=shards,
+                **disk_kwargs,
             ),
             measure,
             "kFlushing advantage largest at tight memory (paper: ~13x FIFO "
@@ -346,7 +377,13 @@ def _hit_figure(
     expectation: str,
     jobs: int = 1,
     shards: int = 1,
+    disk_cache_bytes: int = 0,
+    disk_elide_empty: bool = False,
 ) -> FigureResult:
+    disk_kwargs = dict(
+        disk_cache_bytes=disk_cache_bytes, disk_elide_empty=disk_elide_empty
+    )
+
     def measure(result: TrialResult) -> float:
         return round(result.hit_percent, 2)
 
@@ -358,6 +395,7 @@ def _hit_figure(
             scale=preset,
             seed=seed,
             shards=shards,
+            **disk_kwargs,
         )
 
     def spec_budget(policy: str, x: float) -> TrialSpec:
@@ -368,6 +406,7 @@ def _hit_figure(
             scale=preset,
             seed=seed,
             shards=shards,
+            **disk_kwargs,
         )
 
     def spec_memory(policy: str, x: float) -> TrialSpec:
@@ -378,6 +417,7 @@ def _hit_figure(
             scale=preset,
             seed=seed,
             shards=shards,
+            **disk_kwargs,
         )
 
     panels = [
@@ -427,7 +467,12 @@ def _hit_figure(
 
 
 def fig8_hit_correlated(
-    preset: ScalePreset = SMALL, seed: int = 42, jobs: int = 1, shards: int = 1
+    preset: ScalePreset = SMALL,
+    seed: int = 42,
+    jobs: int = 1,
+    shards: int = 1,
+    disk_cache_bytes: int = 0,
+    disk_elide_empty: bool = False,
 ) -> FigureResult:
     return _hit_figure(
         "fig8",
@@ -439,11 +484,18 @@ def fig8_hit_correlated(
         "in k and flushing budget, increasing in memory budget.",
         jobs=jobs,
         shards=shards,
+        disk_cache_bytes=disk_cache_bytes,
+        disk_elide_empty=disk_elide_empty,
     )
 
 
 def fig9_hit_uniform(
-    preset: ScalePreset = SMALL, seed: int = 42, jobs: int = 1, shards: int = 1
+    preset: ScalePreset = SMALL,
+    seed: int = 42,
+    jobs: int = 1,
+    shards: int = 1,
+    disk_cache_bytes: int = 0,
+    disk_elide_empty: bool = False,
 ) -> FigureResult:
     return _hit_figure(
         "fig9",
@@ -455,6 +507,8 @@ def fig9_hit_uniform(
         "(paper: 100-330% over FIFO, 26-240% over LRU).",
         jobs=jobs,
         shards=shards,
+        disk_cache_bytes=disk_cache_bytes,
+        disk_elide_empty=disk_elide_empty,
     )
 
 
@@ -468,6 +522,8 @@ def fig10_overhead(
     jobs: int = 1,
     digestion_seeds: int = 1,
     shards: int = 1,
+    disk_cache_bytes: int = 0,
+    disk_elide_empty: bool = False,
 ) -> FigureResult:
     """Figure 10 grid: one digestion-stress run per (policy, k).
 
@@ -479,6 +535,9 @@ def fig10_overhead(
     The overhead panel (modelled bytes, deterministic) uses the base seed
     only.
     """
+    disk_kwargs = dict(
+        disk_cache_bytes=disk_cache_bytes, disk_elide_empty=disk_elide_empty
+    )
     seeds = [seed + i for i in range(max(1, digestion_seeds))]
     grid = [
         (policy, k, s)
@@ -488,7 +547,14 @@ def fig10_overhead(
     ]
     trial_results = run_trials(
         [
-            TrialSpec(policy=policy, k=k, scale=preset, seed=s, shards=shards)
+            TrialSpec(
+                policy=policy,
+                k=k,
+                scale=preset,
+                seed=s,
+                shards=shards,
+                **disk_kwargs,
+            )
             for policy, k, s in grid
         ],
         jobs=jobs,
@@ -559,6 +625,8 @@ def _attribute_figure(
     seed: int,
     jobs: int = 1,
     shards: int = 1,
+    disk_cache_bytes: int = 0,
+    disk_elide_empty: bool = False,
 ) -> FigureResult:
     # Both panels draw from the same (policy, memory, mode) trial grid;
     # enumerate it once so the whole figure can fan out in parallel.
@@ -578,6 +646,8 @@ def _attribute_figure(
                 scale=preset,
                 seed=seed,
                 shards=shards,
+                disk_cache_bytes=disk_cache_bytes,
+                disk_elide_empty=disk_elide_empty,
             )
             for policy, gb, mode in points
         ],
@@ -634,18 +704,44 @@ def _attribute_figure(
 
 
 def fig11_spatial(
-    preset: ScalePreset = SMALL, seed: int = 42, jobs: int = 1, shards: int = 1
+    preset: ScalePreset = SMALL,
+    seed: int = 42,
+    jobs: int = 1,
+    shards: int = 1,
+    disk_cache_bytes: int = 0,
+    disk_elide_empty: bool = False,
 ) -> FigureResult:
     return _attribute_figure(
-        "fig11", "spatial", "spatial tiles", preset, seed, jobs=jobs, shards=shards
+        "fig11",
+        "spatial",
+        "spatial tiles",
+        preset,
+        seed,
+        jobs=jobs,
+        shards=shards,
+        disk_cache_bytes=disk_cache_bytes,
+        disk_elide_empty=disk_elide_empty,
     )
 
 
 def fig12_user(
-    preset: ScalePreset = SMALL, seed: int = 42, jobs: int = 1, shards: int = 1
+    preset: ScalePreset = SMALL,
+    seed: int = 42,
+    jobs: int = 1,
+    shards: int = 1,
+    disk_cache_bytes: int = 0,
+    disk_elide_empty: bool = False,
 ) -> FigureResult:
     return _attribute_figure(
-        "fig12", "user", "user ids", preset, seed, jobs=jobs, shards=shards
+        "fig12",
+        "user",
+        "user ids",
+        preset,
+        seed,
+        jobs=jobs,
+        shards=shards,
+        disk_cache_bytes=disk_cache_bytes,
+        disk_elide_empty=disk_elide_empty,
     )
 
 
@@ -658,6 +754,8 @@ def shard_sweep(
     seed: int = 42,
     jobs: int = 1,
     shard_counts: Sequence[int] = SHARD_SWEEP,
+    disk_cache_bytes: int = 0,
+    disk_elide_empty: bool = False,
 ) -> FigureResult:
     """Hit ratio and effective digestion rate vs shard count.
 
@@ -671,7 +769,14 @@ def shard_sweep(
     policies = ("fifo", "kflushing")
 
     def spec_for(policy: str, x: float) -> TrialSpec:
-        return TrialSpec(policy=policy, scale=preset, seed=seed, shards=int(x))
+        return TrialSpec(
+            policy=policy,
+            scale=preset,
+            seed=seed,
+            shards=int(x),
+            disk_cache_bytes=disk_cache_bytes,
+            disk_elide_empty=disk_elide_empty,
+        )
 
     panels = [
         _sweep(

@@ -70,6 +70,10 @@ class TrialSpec:
     #: Build the sharded facade even at ``shards=1`` (the differential
     #: test's hook for proving the sharded path is bit-identical).
     force_sharded: bool = False
+    #: Modelled disk read-cache budget (0 = off, the paper's accounting).
+    disk_cache_bytes: int = 0
+    #: Skip provably-empty disk lookups on the executor miss paths.
+    disk_elide_empty: bool = False
 
     def build_system(self, obs: Optional[Instrumentation] = None) -> MicroblogSystemBase:
         config = SystemConfig(
@@ -82,6 +86,8 @@ class TrialSpec:
             and_disk_limit=max(self.scale.and_disk_limit, self.k),
             tile_side_degrees=self.scale.tile_side_degrees,
             shards=self.shards,
+            disk_cache_bytes=self.disk_cache_bytes,
+            disk_elide_empty=self.disk_elide_empty,
         )
         return build_system_from_config(
             config,

@@ -11,18 +11,38 @@ Cost model: every batch write pays one seek plus bytes/bandwidth; every
 index lookup pays one seek plus the postings read; every record fetch pays
 one seek plus the record read.  The accumulated simulated seconds and the
 operation counters are exposed through :class:`DiskStats`.
+
+Index layout (PR 4): the attribute index is log-structured.  Each key
+holds a :class:`_PostingRuns` — a set of sorted *runs* appended O(1) per
+flush batch (flush batches arrive rank-ordered from the posting lists),
+lazily k-way-merged on read, and size-tiered-compacted when the run count
+exceeds ``max_runs_per_key``.  This replaces the per-posting ``insort``
+of the flat layout; the flat layout survives behind the class switch
+``DiskArchive.use_runs = False`` as the differential/bench reference.
+
+Two config-gated read optimizations ride on top, both off by default so
+the paper's cost accounting stays bit-identical:
+
+* ``cache_bytes > 0`` enables a :class:`DiskReadCache` of bounded lookup
+  blocks — a cache hit skips the seek and charges transfer bytes only;
+* ``elide_empty=True`` lets callers use :meth:`DiskArchive.elides` to
+  skip lookups for keys the disk provably holds no postings for.
 """
 
 from __future__ import annotations
 
 from bisect import insort
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Optional
+from dataclasses import dataclass
+from heapq import merge as _heap_merge
+from itertools import islice
+from typing import Hashable, Iterable, Optional, Sequence, Union
 
 from repro.model.microblog import Microblog
 from repro.obs import Instrumentation
+from repro.storage.disk_cache import DiskReadCache
 from repro.storage.memory_model import MemoryModel
 from repro.storage.posting_list import Posting
+from repro.storage.topk import MergedRunsView
 
 __all__ = ["DiskArchive", "DiskStats", "DiskCostModel"]
 
@@ -41,6 +61,10 @@ class DiskCostModel:
     def read_cost(self, nbytes: int) -> float:
         return self.seek_seconds + nbytes / self.read_bandwidth_bytes_per_s
 
+    def read_transfer_cost(self, nbytes: int) -> float:
+        """Transfer-only read: what a cache hit pays (no seek)."""
+        return nbytes / self.read_bandwidth_bytes_per_s
+
 
 @dataclass
 class DiskStats:
@@ -54,9 +78,98 @@ class DiskStats:
     record_fetches: int = 0
     bytes_read: int = 0
     simulated_io_seconds: float = 0.0
+    compactions: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    lookups_elided: int = 0
 
     def snapshot(self) -> "DiskStats":
         return DiskStats(**vars(self))
+
+
+class _PostingRuns:
+    """Per-key log-structured posting storage: sorted runs + id set.
+
+    Each run is ascending by sort key (best posting at the end — the same
+    orientation as the in-memory :class:`PostingList`).  Blog ids are
+    unique across all runs (``commit_flush`` dedups against ``ids``), and
+    a posting's sort key embeds its blog id, so every sort key appears in
+    exactly one run and the merged best-first order is independent of the
+    order runs are stored in — compaction may regroup them freely.
+    """
+
+    __slots__ = ("runs", "ids")
+
+    def __init__(self) -> None:
+        self.runs: list[list[Posting]] = []
+        self.ids: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def append_batch(self, postings: Sequence[Posting]) -> int:
+        """Append one flush batch; returns the count of fresh postings.
+
+        Postings whose blog id is already indexed under this key are
+        dropped (idempotent re-flush).  The batch lands as one new run —
+        or extends the newest run in place when it ranks entirely above
+        it — so the per-batch cost is O(batch), not O(list).
+        """
+        ids = self.ids
+        fresh = []
+        for p in postings:
+            # Membership check against ids as we go also drops duplicate
+            # blog ids *within* one batch, matching the flat layout.
+            if p.blog_id not in ids:
+                ids.add(p.blog_id)
+                fresh.append(p)
+        if not fresh:
+            return 0
+        # Flush batches come off ascending posting lists and normally
+        # arrive already sorted; fall back to sorting when they don't.
+        for i in range(len(fresh) - 1):
+            if fresh[i] > fresh[i + 1]:
+                fresh.sort()
+                break
+        runs = self.runs
+        if runs and fresh[0] > runs[-1][-1]:
+            runs[-1].extend(fresh)
+        else:
+            runs.append(fresh)
+        return len(fresh)
+
+    def compact(self, target: int) -> int:
+        """Merge the smallest runs until at most ``target`` remain.
+
+        Size-tiered: the largest ``target - 1`` runs are kept as-is and
+        everything smaller is merged into a single sorted run, so big
+        cold runs are not rewritten every cycle.  Returns the number of
+        runs merged away (0 when already within target).
+        """
+        runs = self.runs
+        if len(runs) <= target:
+            return 0
+        runs.sort(key=len, reverse=True)
+        victims = runs[max(1, target) - 1 :]
+        del runs[max(1, target) - 1 :]
+        runs.append(list(_heap_merge(*victims)))
+        return len(victims)
+
+    def top(self, limit: int) -> list[Posting]:
+        """Best ``limit`` postings, best rank first, reading run tails."""
+        runs = self.runs
+        if len(runs) == 1:
+            run = runs[0]
+            # C-speed tail slice: the last `limit` postings, reversed.
+            return run[: -limit - 1 : -1] if limit < len(run) else run[::-1]
+        return list(
+            islice(_heap_merge(*map(reversed, runs), reverse=True), limit)
+        )
+
+    def best_first_view(self) -> MergedRunsView:
+        """Zero-copy best-first view over all runs (unbounded lookup)."""
+        return MergedRunsView(self.runs)
 
 
 class DiskArchive:
@@ -71,19 +184,43 @@ class DiskArchive:
     still resident.
     """
 
+    #: Class-level default for the index layout.  ``True`` is the
+    #: segmented-runs layout; flipping to ``False`` (or passing
+    #: ``use_runs=False``) restores the flat ``insort`` layout of the
+    #: pre-PR-4 archive — kept as the reference path for differential
+    #: tests and before/after benchmarks, like
+    #: ``KFlushingEngine.use_flush_cache``.
+    use_runs: bool = True
+
     def __init__(
         self,
         model: MemoryModel,
         cost_model: Optional[DiskCostModel] = None,
         obs: Optional[Instrumentation] = None,
         shard_id: Optional[int] = None,
+        *,
+        cache_bytes: int = 0,
+        elide_empty: bool = False,
+        use_runs: Optional[bool] = None,
+        max_runs_per_key: int = 8,
     ) -> None:
         self._model = model
         self._cost = cost_model or DiskCostModel()
         self._records: dict[int, Microblog] = {}
-        #: key -> postings ascending by sort key (best at the end), the
-        #: same layout as the in-memory posting lists.
-        self._index: dict[Hashable, list[Posting]] = {}
+        self._use_runs = type(self).use_runs if use_runs is None else use_runs
+        #: key -> per-key postings.  Runs layout: a ``_PostingRuns``.
+        #: Flat layout: a plain ascending ``list[Posting]`` (best at the
+        #: end), the same layout as the in-memory posting lists.
+        self._index: dict[Hashable, Union[_PostingRuns, list[Posting]]] = {}
+        if max_runs_per_key < 1:
+            raise ValueError(
+                f"max_runs_per_key must be >= 1, got {max_runs_per_key}"
+            )
+        self._max_runs = max_runs_per_key
+        self.cache = (
+            DiskReadCache(cache_bytes, model) if cache_bytes > 0 else None
+        )
+        self.elide_empty = elide_empty
         self.stats = DiskStats()
         self.obs = obs if obs is not None else Instrumentation()
         #: Which shard's namespace this archive holds (None = unsharded).
@@ -119,6 +256,15 @@ class DiskArchive:
         postings = self._index.get(key)
         return 0 if postings is None else len(postings)
 
+    def run_count(self, key: Hashable) -> int:
+        """Number of stored runs for ``key`` (1 for the flat layout)."""
+        entry = self._index.get(key)
+        if entry is None:
+            return 0
+        if isinstance(entry, _PostingRuns):
+            return len(entry.runs)
+        return 1
+
     # ------------------------------------------------------------------
     # Writes (called by the flush buffer on commit)
     # ------------------------------------------------------------------
@@ -128,7 +274,13 @@ class DiskArchive:
         records: Iterable[Microblog],
         postings_by_key: dict[Hashable, list[Posting]],
     ) -> int:
-        """Persist one flush batch; returns modelled bytes written."""
+        """Persist one flush batch; returns modelled bytes written.
+
+        Idempotent per ``(key, blog_id)``: a posting trimmed in one flush
+        and re-flushed later (e.g. alongside its record body) is written
+        once — re-commits neither inflate ``posting_count`` nor widen the
+        merge inputs of later lookups.
+        """
         nbytes = 0
         nrecords = 0
         for record in records:
@@ -143,14 +295,17 @@ class DiskArchive:
         for key, postings in postings_by_key.items():
             if not postings:
                 continue
-            target = self._index.setdefault(key, [])
-            for posting in postings:
-                if not target or posting.sort_key >= target[-1].sort_key:
-                    target.append(posting)
-                else:
-                    insort(target, posting)
-            npostings += len(postings)
-            nbytes += self._model.postings_bytes(len(postings))
+            fresh = (
+                self._commit_key_runs(key, postings)
+                if self._use_runs
+                else self._commit_key_flat(key, postings)
+            )
+            if not fresh:
+                continue
+            npostings += fresh
+            nbytes += self._model.postings_bytes(fresh)
+            if self.cache is not None:
+                self.cache.invalidate(key)
         self.stats.flush_batches += 1
         self.stats.records_written += nrecords
         self.stats.postings_written += npostings
@@ -162,26 +317,118 @@ class DiskArchive:
         self._count("bytes_written", nbytes)
         return nbytes
 
+    def _commit_key_runs(self, key: Hashable, postings: list[Posting]) -> int:
+        """Runs layout: O(1) batch append plus occasional compaction."""
+        entry = self._index.get(key)
+        if entry is None:
+            entry = _PostingRuns()
+            fresh = entry.append_batch(postings)
+            if fresh:
+                self._index[key] = entry
+            return fresh
+        fresh = entry.append_batch(postings)
+        if len(entry.runs) > self._max_runs:
+            entry.compact(max(1, self._max_runs // 2))
+            self.stats.compactions += 1
+            self._count("compactions")
+        return fresh
+
+    def _commit_key_flat(self, key: Hashable, postings: list[Posting]) -> int:
+        """Flat layout: per-posting append-or-insort (pre-PR-4 path)."""
+        target = self._index.get(key)
+        if target is None:
+            target = self._index[key] = []
+        seen = {p.blog_id for p in target}
+        fresh = 0
+        for posting in postings:
+            if posting.blog_id in seen:
+                continue
+            seen.add(posting.blog_id)
+            if not target or posting.sort_key >= target[-1].sort_key:
+                target.append(posting)
+            else:
+                insort(target, posting)
+            fresh += 1
+        if not target:
+            del self._index[key]
+        return fresh
+
     # ------------------------------------------------------------------
     # Reads (called by the query executor on a memory miss)
     # ------------------------------------------------------------------
 
-    def lookup(self, key: Hashable, limit: Optional[int] = None) -> list[Posting]:
+    def elides(self, key: Hashable) -> bool:
+        """True when elision is on and ``key`` provably has no postings.
+
+        Callers (the executor's miss paths, the sharded router) use this
+        to skip a disk lookup entirely — no seek, no ``index_lookups``
+        tick — for keys the archive has never indexed.  Counted under
+        ``disk.lookups_elided``.  Always ``False`` with the gate off, so
+        default behaviour (every miss pays the lookup) is unchanged.
+        """
+        if not self.elide_empty or key in self._index:
+            return False
+        self.stats.lookups_elided += 1
+        self._count("lookups_elided")
+        return True
+
+    def lookup(
+        self, key: Hashable, limit: Optional[int] = None
+    ) -> Sequence[Posting]:
         """Return disk postings for ``key``, best rank first.
 
         ``limit`` bounds the number returned (a real system reads the head
         blocks of the posting file); the I/O cost charges the postings
-        actually read.
+        actually read.  Bounded lookups return a materialized sequence and
+        consult the read cache when enabled; unbounded lookups return a
+        zero-copy best-first view over the live runs (consume it before
+        the next ``commit_flush``).
         """
-        postings = self._index.get(key, [])
+        if limit is not None and self.cache is not None:
+            block = self.cache.get(key, limit)
+            if block is not None:
+                self.stats.cache_hits += 1
+                self._count("cache.hits")
+                return self._charge_read(block, seek=False)
+            self.stats.cache_misses += 1
+            self._count("cache.misses")
+            result = self._read_index(key, limit)
+            evicted = self.cache.put(key, limit, tuple(result))
+            if evicted:
+                self.stats.cache_evictions += evicted
+                self._count("cache.evictions", evicted)
+            return self._charge_read(result, seek=True)
+        return self._charge_read(self._read_index(key, limit), seek=True)
+
+    def _read_index(
+        self, key: Hashable, limit: Optional[int]
+    ) -> Sequence[Posting]:
+        """Materialize (bounded) or view (unbounded) one key's postings."""
+        entry = self._index.get(key)
+        if entry is None:
+            return [] if limit is not None else MergedRunsView(())
+        if isinstance(entry, _PostingRuns):
+            if limit is not None:
+                return entry.top(limit)
+            return entry.best_first_view()
+        # Flat layout: the pre-PR-4 slice-and-reverse copies, kept verbatim
+        # as the micro-benchmark reference for the zero-copy view above.
         if limit is not None:
-            result = postings[-limit:][::-1]
-        else:
-            result = postings[::-1]
+            return entry[-limit:][::-1]
+        return entry[::-1]
+
+    def _charge_read(
+        self, result: Sequence[Posting], *, seek: bool
+    ) -> Sequence[Posting]:
+        """Account one index read; a cache hit skips the seek."""
         nbytes = self._model.postings_bytes(len(result))
         self.stats.index_lookups += 1
         self.stats.bytes_read += nbytes
-        self.stats.simulated_io_seconds += self._cost.read_cost(nbytes)
+        self.stats.simulated_io_seconds += (
+            self._cost.read_cost(nbytes)
+            if seek
+            else self._cost.read_transfer_cost(nbytes)
+        )
         self._count("index_lookups")
         self._count("bytes_read", nbytes)
         return result

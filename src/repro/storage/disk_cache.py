@@ -1,0 +1,150 @@
+"""Modelled LRU read cache over per-key top-k disk blocks.
+
+A real deployment gets an OS page cache between the query engine and the
+spindle for free; the simulated disk tier has to model it explicitly or
+every repeated memory miss on the same hot key pays a full seek forever.
+:class:`DiskReadCache` is that model: it holds the materialized result of
+bounded index lookups — ``(key, limit) -> tuple[Posting, ...]`` blocks —
+under an explicit byte budget, evicting least-recently-used blocks.
+
+The cache changes *costs only*, never answers: a hit returns the exact
+block a cold read would have produced, and the archive charges transfer
+bytes without the seek (see ``DiskCostModel.read_transfer_cost``).  Any
+``commit_flush`` touching a key drops that key's blocks, so a cached
+block can never go stale.  It is off by default
+(``SystemConfig.disk_cache_bytes = 0``) to preserve the paper's cost
+accounting bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+from repro.storage.memory_model import MemoryModel
+from repro.storage.posting_list import Posting
+
+__all__ = ["DiskReadCache"]
+
+#: Cache-key of one block: the looked-up index key plus the read bound.
+_BlockKey = tuple[Hashable, int]
+
+
+class DiskReadCache:
+    """Byte-budgeted LRU cache of bounded disk lookup results."""
+
+    __slots__ = (
+        "capacity_bytes",
+        "_model",
+        "_blocks",
+        "_limits_by_key",
+        "bytes_used",
+        "hits",
+        "misses",
+        "evictions",
+        "invalidations",
+    )
+
+    def __init__(self, capacity_bytes: int, model: MemoryModel) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(
+                f"capacity_bytes must be positive, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self._model = model
+        #: Insertion/recency order: least recently used block first.
+        self._blocks: OrderedDict[_BlockKey, tuple[Posting, ...]] = OrderedDict()
+        #: key -> the limits cached for it, so a ``commit_flush`` touching
+        #: a key invalidates all its blocks without scanning the cache.
+        self._limits_by_key: dict[Hashable, set[int]] = {}
+        self.bytes_used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def block_bytes(self, block: tuple[Posting, ...]) -> int:
+        """Modelled footprint of one cached block (entry header + ids)."""
+        return self._model.entry_bytes(len(block))
+
+    def contains(self, key: Hashable, limit: int) -> bool:
+        """Membership test without touching recency or counters."""
+        return (key, limit) in self._blocks
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def get(self, key: Hashable, limit: int) -> Optional[tuple[Posting, ...]]:
+        """Return the cached block and mark it most recently used."""
+        block = self._blocks.get((key, limit))
+        if block is None:
+            self.misses += 1
+            return None
+        self._blocks.move_to_end((key, limit))
+        self.hits += 1
+        return block
+
+    def put(self, key: Hashable, limit: int, block: tuple[Posting, ...]) -> int:
+        """Admit a block, evicting LRU blocks to fit; returns evictions.
+
+        A block larger than the whole budget is not admitted (it would
+        wipe the cache for a single unreusable read).
+        """
+        cost = self.block_bytes(block)
+        if cost > self.capacity_bytes:
+            return 0
+        block_key = (key, limit)
+        old = self._blocks.pop(block_key, None)
+        if old is not None:
+            self.bytes_used -= self.block_bytes(old)
+        self._blocks[block_key] = block
+        self._limits_by_key.setdefault(key, set()).add(limit)
+        self.bytes_used += cost
+        evicted = 0
+        while self.bytes_used > self.capacity_bytes:
+            (victim_key, victim_limit), victim = self._blocks.popitem(last=False)
+            self.bytes_used -= self.block_bytes(victim)
+            limits = self._limits_by_key[victim_key]
+            limits.discard(victim_limit)
+            if not limits:
+                del self._limits_by_key[victim_key]
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+
+    def invalidate(self, key: Hashable) -> int:
+        """Drop every block cached for ``key``; returns blocks dropped."""
+        limits = self._limits_by_key.pop(key, None)
+        if not limits:
+            return 0
+        dropped = 0
+        for limit in limits:
+            block = self._blocks.pop((key, limit), None)
+            if block is not None:
+                self.bytes_used -= self.block_bytes(block)
+                dropped += 1
+        self.invalidations += dropped
+        return dropped
+
+    def clear(self) -> None:
+        self._blocks.clear()
+        self._limits_by_key.clear()
+        self.bytes_used = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DiskReadCache(blocks={len(self._blocks)}, "
+            f"bytes={self.bytes_used}/{self.capacity_bytes})"
+        )

@@ -18,7 +18,7 @@ from repro.errors import DuplicateRecordError
 from repro.model.microblog import Microblog
 from repro.storage.memory_model import MemoryModel
 from repro.storage.posting_list import MIN_SORT_KEY, Posting, PostingList, SortKey
-from repro.storage.topk import merge_topk
+from repro.storage.topk import merge_run_tails
 
 __all__ = ["Segment", "SegmentedIndex"]
 
@@ -138,13 +138,20 @@ class SegmentedIndex:
         With ``depth`` set, only each segment's per-key top ``depth`` is
         gathered before the global merge — the correct global top-``depth``
         at a fraction of the cost for hot keys spanning many segments.
+
+        Segments are temporally disjoint (a record lives in exactly one),
+        so per-segment streams never share a blog id and the gather can
+        k-way heap-merge best-first streams lazily instead of
+        concatenating, dedupping, and re-sorting.
         """
         groups = []
         for segment in self._segments:
             entry = segment.postings_for(key)
             if entry is not None:
-                groups.append(entry if depth is None else entry.top(depth))
-        return merge_topk(groups, depth)
+                groups.append(
+                    entry.iter_best_first() if depth is None else entry.top(depth)
+                )
+        return merge_run_tails(groups, depth)
 
     def key_posting_counts(self) -> dict[Hashable, int]:
         """Aggregate in-memory posting count per key (metrics only)."""

@@ -98,6 +98,194 @@ class TestFetchRecord:
         assert disk.stats.bytes_read == before
 
 
+class TestPostingIdempotency:
+    """commit_flush must be idempotent per (key, blog_id).
+
+    Regression tests: before PR 4 a posting trimmed in one flush and
+    re-flushed later (e.g. alongside its record body) was appended to
+    the disk index twice, inflating ``posting_count`` and the merge
+    inputs of every later lookup.
+    """
+
+    def test_reflushed_posting_written_once(self, disk):
+        disk.commit_flush([], {"a": [posting(1)]})
+        disk.commit_flush([], {"a": [posting(1)]})
+        assert disk.posting_count("a") == 1
+        assert [p.blog_id for p in disk.lookup("a")] == [1]
+        assert disk.stats.postings_written == 1
+
+    def test_reflush_charges_no_posting_bytes(self, disk, model):
+        disk.commit_flush([], {"a": [posting(1)]})
+        written = disk.commit_flush([], {"a": [posting(1)]})
+        assert written == 0
+
+    def test_duplicate_within_one_batch(self, disk):
+        disk.commit_flush([], {"a": [posting(1), posting(1), posting(2)]})
+        assert disk.posting_count("a") == 2
+
+    def test_flat_layout_also_idempotent(self, model):
+        flat = DiskArchive(model, use_runs=False)
+        flat.commit_flush([], {"a": [posting(1)]})
+        flat.commit_flush([], {"a": [posting(1), posting(2)]})
+        assert flat.posting_count("a") == 2
+        assert [p.blog_id for p in flat.lookup("a")] == [2, 1]
+
+
+class TestSegmentedRuns:
+    def test_each_batch_is_one_run(self, disk):
+        # Overlapping score ranges: neither batch extends the other.
+        disk.commit_flush([], {"a": [posting(2), posting(6)]})
+        disk.commit_flush([], {"a": [posting(1), posting(4)]})
+        assert disk.run_count("a") == 2
+        assert [p.blog_id for p in disk.lookup("a")] == [6, 4, 2, 1]
+
+    def test_rank_ordered_batch_extends_newest_run(self, disk):
+        disk.commit_flush([], {"a": [posting(1), posting(2)]})
+        disk.commit_flush([], {"a": [posting(3), posting(4)]})
+        assert disk.run_count("a") == 1
+        assert [p.blog_id for p in disk.lookup("a")] == [4, 3, 2, 1]
+
+    def test_unsorted_batch_is_sorted_once(self, disk):
+        disk.commit_flush([], {"a": [posting(5), posting(1), posting(3)]})
+        assert disk.run_count("a") == 1
+        assert [p.blog_id for p in disk.lookup("a")] == [5, 3, 1]
+
+    def test_compaction_bounds_run_count(self, model):
+        disk = DiskArchive(model, max_runs_per_key=4)
+        # Descending batches: every batch opens a new run.
+        for i in range(20, 0, -1):
+            disk.commit_flush([], {"a": [posting(i)]})
+        assert disk.run_count("a") <= 4
+        assert disk.stats.compactions > 0
+        assert [p.blog_id for p in disk.lookup("a")] == list(range(20, 0, -1))
+
+    def test_bounded_lookup_walks_run_tails(self, disk):
+        disk.commit_flush([], {"a": [posting(2), posting(8)]})
+        disk.commit_flush([], {"a": [posting(5), posting(9)]})
+        assert [p.blog_id for p in disk.lookup("a", limit=3)] == [9, 8, 5]
+
+    def test_unbounded_lookup_is_lazy_view(self, disk):
+        from repro.storage.topk import MergedRunsView
+
+        disk.commit_flush([], {"a": [posting(1), posting(2)]})
+        view = disk.lookup("a")
+        assert isinstance(view, MergedRunsView)
+        assert len(view) == 2
+        assert view == [posting(2), posting(1)]
+
+    def test_flat_and_runs_layouts_agree(self, model):
+        runs = DiskArchive(model, use_runs=True)
+        flat = DiskArchive(model, use_runs=False)
+        batches = [
+            {"a": [posting(3), posting(7)], "b": [posting(2)]},
+            {"a": [posting(1), posting(5)]},
+            {"a": [posting(9)], "b": [posting(4)]},
+        ]
+        for batch in batches:
+            runs.commit_flush([], batch)
+            flat.commit_flush([], batch)
+        for key in ("a", "b", "ghost"):
+            assert list(runs.lookup(key)) == list(flat.lookup(key))
+            assert list(runs.lookup(key, limit=2)) == list(flat.lookup(key, limit=2))
+        assert runs.stats.simulated_io_seconds == pytest.approx(
+            flat.stats.simulated_io_seconds
+        )
+
+
+class TestReadCache:
+    @pytest.fixture
+    def cached(self, model):
+        return DiskArchive(model, cache_bytes=10_000)
+
+    def test_repeat_lookup_hits(self, cached):
+        cached.commit_flush([], {"a": [posting(i) for i in range(1, 6)]})
+        first = cached.lookup("a", limit=3)
+        second = cached.lookup("a", limit=3)
+        assert list(first) == list(second)
+        assert cached.stats.cache_misses == 1
+        assert cached.stats.cache_hits == 1
+
+    def test_hit_skips_the_seek(self, cached, model):
+        cost = DiskCostModel()
+        cached.commit_flush([], {"a": [posting(i) for i in range(1, 6)]})
+        cached.lookup("a", limit=3)
+        before = cached.stats.simulated_io_seconds
+        cached.lookup("a", limit=3)
+        delta = cached.stats.simulated_io_seconds - before
+        nbytes = model.postings_bytes(3)
+        assert delta == pytest.approx(cost.read_transfer_cost(nbytes))
+        assert delta < cost.read_cost(nbytes)
+
+    def test_commit_invalidates_key(self, cached):
+        cached.commit_flush([], {"a": [posting(1)]})
+        cached.lookup("a", limit=2)
+        cached.commit_flush([], {"a": [posting(2)]})
+        result = cached.lookup("a", limit=2)
+        assert [p.blog_id for p in result] == [2, 1]
+        assert cached.stats.cache_misses == 2
+        assert cached.stats.cache_hits == 0
+
+    def test_unbounded_lookup_bypasses_cache(self, cached):
+        cached.commit_flush([], {"a": [posting(1)]})
+        cached.lookup("a")
+        cached.lookup("a")
+        assert cached.stats.cache_hits == 0
+        assert cached.stats.cache_misses == 0
+
+    def test_eviction_under_tiny_budget(self, model):
+        # Budget fits roughly one block (entry overhead + a few postings).
+        small = DiskArchive(model, cache_bytes=100)
+        small.commit_flush(
+            [], {key: [posting(i)] for i, key in enumerate(("a", "b", "c"))}
+        )
+        for key in ("a", "b", "c", "a", "b", "c"):
+            small.lookup(key, limit=1)
+        assert small.stats.cache_evictions > 0
+        assert small.stats.cache_misses > 3  # LRU churn under pressure
+
+    def test_cache_off_by_default(self, disk):
+        disk.commit_flush([], {"a": [posting(1)]})
+        disk.lookup("a", limit=1)
+        disk.lookup("a", limit=1)
+        assert disk.cache is None
+        assert disk.stats.cache_hits == 0
+        assert disk.stats.cache_misses == 0
+
+    def test_counters_reach_registry(self, model):
+        cached = DiskArchive(model, cache_bytes=10_000)
+        cached.commit_flush([], {"a": [posting(1)]})
+        cached.lookup("a", limit=1)
+        cached.lookup("a", limit=1)
+        counters = cached.obs.registry.snapshot()["counters"]
+        assert counters["disk.cache.hits"] == 1
+        assert counters["disk.cache.misses"] == 1
+
+
+class TestNegativeLookupElision:
+    def test_off_by_default(self, disk):
+        assert disk.elides("ghost") is False
+        assert disk.stats.lookups_elided == 0
+
+    def test_elides_missing_key(self, model):
+        disk = DiskArchive(model, elide_empty=True)
+        assert disk.elides("ghost") is True
+        assert disk.stats.lookups_elided == 1
+        counters = disk.obs.registry.snapshot()["counters"]
+        assert counters["disk.lookups_elided"] == 1
+
+    def test_never_elides_indexed_key(self, model):
+        disk = DiskArchive(model, elide_empty=True)
+        disk.commit_flush([], {"a": [posting(1)]})
+        assert disk.elides("a") is False
+        assert disk.stats.lookups_elided == 0
+
+    def test_elision_charges_no_io(self, model):
+        disk = DiskArchive(model, elide_empty=True)
+        assert disk.elides("ghost") is True
+        assert disk.stats.index_lookups == 0
+        assert disk.stats.simulated_io_seconds == 0.0
+
+
 class TestCostModel:
     def test_write_cost_monotone_in_bytes(self):
         cost = DiskCostModel()

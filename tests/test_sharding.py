@@ -33,7 +33,7 @@ from repro.experiments.parallel import run_trials
 from repro.experiments.runner import TrialSpec, run_trial
 from repro.obs import Instrumentation, JsonlSink, activated
 from repro.storage.posting_list import Posting
-from repro.storage.topk import merge_topk
+from repro.storage.topk import merge_run_tails, merge_topk
 from repro.workload.queryload import QueryLoad, QueryLoadConfig
 from repro.workload.stream import MicroblogStream, StreamConfig
 from tests.test_experiments import MICRO
@@ -346,11 +346,14 @@ class TestMergeTopk:
         assert len(merge_topk(groups, k=None)) == 10
 
     def test_executor_and_segments_share_impl(self):
+        # All merge sites draw from repro.storage.topk: the executor uses
+        # the dedupping merge, the segmented index the duplicate-free
+        # stream merge (segments are temporally disjoint).
         from repro.engine import executor as executor_mod
         from repro.storage import segmented_index as seg_mod
 
         assert executor_mod._merge_topk is merge_topk
-        assert seg_mod.merge_topk is merge_topk
+        assert seg_mod.merge_run_tails is merge_run_tails
 
 
 class TestParallelMetricsMerge:
