@@ -25,6 +25,16 @@ Subcommands
     (flush phase spans, per-mode query counters, disk I/O, per-shard
     gauges when sharded) as JSON or Prometheus-style text; the system's
     invariants are checked before the dump.
+``trace metrics.jsonl [--top 5] [--require-miss-causes]``
+    Offline analysis of an events JSONL (``--metrics-out`` /
+    ``--events-out`` output): reconstruct query/flush span trees, print
+    the top-N slowest queries with their shard/disk breakdown, flush
+    wall-time attribution per phase, and the eviction-cause miss table.
+``serve [--port 8080] [--policy kflushing] [--duration 0]``
+    Standalone ops-endpoint demo: drive a continuous synthetic workload
+    while serving ``/metrics`` (Prometheus), ``/snapshot`` (JSON) and
+    ``/healthz`` on the given port.  ``run --serve PORT`` serves the
+    same endpoints for the duration of a figure run.
 ``demo``
     A 30-second end-to-end demo: ingest a synthetic stream under two
     policies and compare their steady-state hit ratios.
@@ -45,9 +55,24 @@ from repro.engine.system import MicroblogSystem
 from repro.experiments.bench import ALL_SUITES, run_bench
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.parallel import resolve_jobs
-from repro.experiments.report import print_figure
+from repro.experiments.report import format_miss_attribution, print_figure
 from repro.experiments.scale import PRESETS, SMALL
-from repro.obs import Instrumentation, JsonlSink, activated, to_json, to_prometheus_text
+from repro.obs import (
+    Instrumentation,
+    JsonlSink,
+    MetricsRegistry,
+    activated,
+    to_json,
+    to_prometheus_text,
+)
+from repro.obs.traceview import (
+    build_traces,
+    flush_attribution,
+    load_events,
+    merge_snapshot_events,
+    miss_cause_table,
+    query_summaries,
+)
 from repro.workload.queryload import QueryLoad, QueryLoadConfig
 from repro.workload.stream import MicroblogStream, StreamConfig
 
@@ -99,32 +124,63 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.metrics_out:
         # Parallel workers write per-trial metric shards that run_trials
         # merges back into this sink's file, so --jobs stays effective.
-        obs = Instrumentation(sink=JsonlSink(args.metrics_out))
-    for name in names:
-        fn = ALL_FIGURES[name]
-        kwargs = _figure_kwargs(
-            fn,
-            args.seed,
-            jobs,
-            args.shards,
-            disk_cache_bytes=args.disk_cache_bytes,
-            disk_elide_empty=args.disk_elide_empty,
+        # Metrics-collecting runs get the full observability surface:
+        # trace trees and eviction-cause miss attribution.
+        obs = Instrumentation(
+            sink=JsonlSink(args.metrics_out), tracing=True, attribution=True
         )
-        start = time.perf_counter()
-        if obs is not None:
-            # Every system built inside the figure shares this registry
-            # and streams its events to the JSONL sink.
-            with activated(obs):
+    server = None
+    if args.serve is not None:
+        from repro.obs import OpsServer
+
+        serve_registry = obs.registry if obs is not None else MetricsRegistry()
+        if obs is None:
+            # Figures must still share one registry so /metrics has data.
+            obs = Instrumentation(registry=serve_registry)
+        server = OpsServer(serve_registry, port=args.serve).start()
+        print(f"[ops endpoint live at {server.url} — /metrics /snapshot /healthz]")
+    try:
+        for name in names:
+            fn = ALL_FIGURES[name]
+            kwargs = _figure_kwargs(
+                fn,
+                args.seed,
+                jobs,
+                args.shards,
+                disk_cache_bytes=args.disk_cache_bytes,
+                disk_elide_empty=args.disk_elide_empty,
+            )
+            start = time.perf_counter()
+            if obs is not None:
+                # Every system built inside the figure shares this registry
+                # and streams its events to the JSONL sink.
+                with activated(obs):
+                    figure = fn(preset, **kwargs)
+            else:
                 figure = fn(preset, **kwargs)
-        else:
-            figure = fn(preset, **kwargs)
-        elapsed = time.perf_counter() - start
-        print_figure(figure)
-        print(f"[{name} completed in {elapsed:.1f}s at scale={preset.name}]\n")
-    if obs is not None:
-        obs.event("run_snapshot", figures=names, metrics=obs.registry.snapshot())
-        obs.close()
-        print(f"[metrics written to {args.metrics_out}]")
+            elapsed = time.perf_counter() - start
+            print_figure(figure)
+            print(f"[{name} completed in {elapsed:.1f}s at scale={preset.name}]\n")
+        if obs is not None and args.metrics_out:
+            # Parallel trials ship their registries as trial_snapshot
+            # events inside the merged file; fold them into the parent
+            # registry so the run snapshot (and the miss table) covers
+            # worker trials too.  Serial runs shared the registry
+            # directly and left no trial_snapshot events, so this no-ops.
+            if Path(args.metrics_out).exists():
+                merge_snapshot_events(
+                    args.metrics_out, obs.registry, types=("trial_snapshot",)
+                )
+            causes = obs.registry.counter_values("query.miss.cause.")
+            if causes:
+                print(format_miss_attribution(causes))
+                print()
+            obs.event("run_snapshot", figures=names, metrics=obs.registry.snapshot())
+            obs.close()
+            print(f"[metrics written to {args.metrics_out}]")
+    finally:
+        if server is not None:
+            server.stop()
     return 0
 
 
@@ -147,10 +203,104 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Offline analysis of an events JSONL: span trees + attributions."""
+    events = load_events(args.path)
+    traces = build_traces(events)
+    print(f"[{args.path}: {len(events)} events, {len(traces)} complete traces]")
+
+    queries = query_summaries(traces, top=args.top)
+    print(f"\n-- Top {min(args.top, len(queries))} slowest query traces --")
+    if not queries:
+        print("(no query traces — was the file produced with tracing on?)")
+    for summary in queries:
+        outcome = "hit" if summary["hit"] else f"MISS({summary['miss_cause'] or '?'})"
+        print(
+            f"  {summary['trace']:>12s}  {summary['seconds'] * 1e6:9.1f}us  "
+            f"mode={summary['mode'] or '?':6s} {outcome:24s} "
+            f"disk_lookups={summary['disk_lookups']}  spans={summary['spans']}"
+        )
+        for child in summary["children"]:
+            where = "" if child["shard"] is None else f" shard={child['shard']}"
+            cache = "" if child["cache"] is None else f" cache={child['cache']}"
+            print(
+                f"      {child['name']:22s} {child['seconds'] * 1e6:9.1f}us"
+                f"{where}{cache}"
+            )
+
+    flush = flush_attribution(traces)
+    print(
+        f"\n-- Flush wall-time attribution "
+        f"({flush['flush_traces']} flush traces, "
+        f"{flush['total_seconds'] * 1e3:.2f}ms total) --"
+    )
+    for phase, seconds in flush["per_phase_seconds"].items():
+        share = seconds / flush["total_seconds"] if flush["total_seconds"] else 0.0
+        print(f"  {phase:20s} {seconds * 1e3:9.3f}ms  {share:6.1%}")
+    if not flush["per_phase_seconds"]:
+        print("  (no phase spans — FIFO/LRU flushes have no phases)")
+
+    causes = miss_cause_table(events)
+    print()
+    print(format_miss_attribution(causes))
+    if args.require_miss_causes and not causes:
+        print("error: no miss causes found (expected a non-empty table)")
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Standalone ops-endpoint demo over a continuous workload."""
+    from repro.obs import OpsServer
+
+    obs = Instrumentation(attribution=True)
+    config = SystemConfig(
+        policy=args.policy,
+        k=20,
+        memory_capacity_bytes=2_000_000,
+        and_scan_depth=500,
+        and_disk_limit=500,
+        shards=args.shards,
+    )
+    system = build_system(config, obs=obs)
+    server = OpsServer(
+        obs.registry, port=args.port, snapshot_provider=system.snapshot
+    ).start()
+    print(f"[serving /metrics /snapshot /healthz at {server.url}]")
+    if args.duration > 0:
+        print(f"[driving a {args.policy} workload for {args.duration:.0f}s ...]")
+    else:
+        print(f"[driving a {args.policy} workload until interrupted (Ctrl-C) ...]")
+    stream = MicroblogStream(
+        StreamConfig(seed=args.seed, vocabulary_size=5_000, with_locations=False)
+    )
+    queries = QueryLoad(QueryLoadConfig(seed=args.seed + 1, mode="correlated"), stream)
+    deadline = time.monotonic() + args.duration if args.duration > 0 else None
+    try:
+        while deadline is None or time.monotonic() < deadline:
+            for record in stream.take(500):
+                system.ingest(record)
+            for _ in range(50):
+                system.search(queries.next_query())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    print(
+        f"[served {args.policy}: hit ratio {100 * system.hit_ratio():.1f}%, "
+        f"{len(system.flush_reports())} flushes]"
+    )
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Tiny fig1-style run: ingest + interleaved queries, dump metrics."""
     obs = Instrumentation(
-        sink=JsonlSink(args.events_out) if args.events_out else None
+        sink=JsonlSink(args.events_out) if args.events_out else None,
+        # Events-producing runs also get trace trees; attribution is
+        # always on here so the dump includes the miss-cause counters.
+        tracing=bool(args.events_out),
+        attribution=True,
     )
     config = SystemConfig(
         policy=args.policy,
@@ -297,6 +447,16 @@ def build_parser() -> argparse.ArgumentParser:
             "postings for (never changes answers)"
         ),
     )
+    run.add_argument(
+        "--serve",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve /metrics, /snapshot and /healthz on this port for the "
+            "duration of the run (0 = OS-assigned)"
+        ),
+    )
     run.set_defaults(fn=_cmd_run)
 
     bench = sub.add_parser(
@@ -388,6 +548,44 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     stats.set_defaults(fn=_cmd_stats)
+
+    trace = sub.add_parser(
+        "trace", help="offline span-tree / attribution analysis of an events JSONL"
+    )
+    trace.add_argument("path", help="events JSONL (--metrics-out / --events-out output)")
+    trace.add_argument(
+        "--top", type=int, default=5, help="how many slowest query traces to show"
+    )
+    trace.add_argument(
+        "--require-miss-causes",
+        action="store_true",
+        help="exit non-zero when the miss-cause table is empty (CI gate)",
+    )
+    trace.set_defaults(fn=_cmd_trace)
+
+    serve = sub.add_parser(
+        "serve", help="live ops endpoint over a continuous demo workload"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8080, help="HTTP port (0 = OS-assigned)"
+    )
+    serve.add_argument(
+        "--policy",
+        default="kflushing",
+        choices=("fifo", "kflushing", "kflushing-mk", "lru"),
+        help="flushing policy to drive",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1, help="hash-partition over N shards"
+    )
+    serve.add_argument("--seed", type=int, default=42, help="workload seed")
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        help="seconds to run before exiting (0 = until interrupted)",
+    )
+    serve.set_defaults(fn=_cmd_serve)
 
     sub.add_parser("demo", help="quick FIFO vs kFlushing comparison").set_defaults(
         fn=_cmd_demo

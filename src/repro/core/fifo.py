@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Hashable, Optional
 
+from repro.core.eviction_ledger import CAUSE_WHOLE_KEY_FIFO
 from repro.core.policy import FlushReport, LookupResult, MemoryEngine
 from repro.model.microblog import Microblog
 from repro.storage.posting_list import Posting
@@ -70,6 +71,11 @@ class FIFOEngine(MemoryEngine):
             postings_by_key: dict[Hashable, list[Posting]] = {
                 key: list(entry) for key, entry in segment.entries.items()
             }
+            if self.eviction_ledger is not None:
+                # Segment eviction is all-or-nothing: every key in the
+                # popped segment loses its postings wholesale.
+                for key, postings in postings_by_key.items():
+                    self.note_eviction(key, CAUSE_WHOLE_KEY_FIFO, now, len(postings))
             written = self.disk.commit_flush(segment.records.values(), postings_by_key)
             report.freed_bytes += freed
             report.records_flushed += len(segment.records)

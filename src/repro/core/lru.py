@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Optional, Sequence
 
+from repro.core.eviction_ledger import CAUSE_TRIMMED_TOPK, CAUSE_WHOLE_KEY_LRU
 from repro.core.policy import FlushReport, LookupResult, MemoryEngine
 from repro.core.recency_list import RecencyList
 from repro.model.microblog import Microblog
@@ -105,11 +106,11 @@ class LRUEngine(MemoryEngine):
             blog_id = self._recency.pop_lru()
             if blog_id is None:
                 break
-            report.freed_bytes += self._evict_record(blog_id, report)
+            report.freed_bytes += self._evict_record(blog_id, report, now)
         report.bytes_written_to_disk = self.buffer.commit()
         return report
 
-    def _evict_record(self, blog_id: int, report: FlushReport) -> int:
+    def _evict_record(self, blog_id: int, report: FlushReport, now: float) -> int:
         """Remove one record from the raw store and all of its entries."""
         record = self.raw.remove(blog_id)
         freed = self.model.record_bytes(record)
@@ -129,6 +130,10 @@ class LRUEngine(MemoryEngine):
                 self.index.remove_entry(key)
                 freed += self.model.entry_overhead
                 report.entries_flushed += 1
+                self.note_eviction(key, CAUSE_WHOLE_KEY_LRU, now, 1)
+            else:
+                # The entry survives with a hole punched in it.
+                self.note_eviction(key, CAUSE_TRIMMED_TOPK, now, 1)
         self.buffer.add_record(record)
         report.records_flushed += 1
         return freed

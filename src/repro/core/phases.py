@@ -121,8 +121,10 @@ def run_phase1(engine: "KFlushingEngine", ctx: FlushContext) -> None:
             else:
                 removed = entry.trim_beyond(k)
             engine.index.charge_removed_postings(len(removed), key, entry=entry)
-            if removed and engine.flush_cache is not None:
-                engine.flush_cache.invalidate(key)
+            if removed:
+                if engine.flush_cache is not None:
+                    engine.flush_cache.invalidate(key)
+                engine.note_eviction(key, PHASE_REGULAR, ctx.now, len(removed))
             for posting in removed:
                 freed += _evict_posting(engine, ctx, key, posting)
             if len(entry) <= k:
@@ -141,12 +143,14 @@ def _flush_entry(
     ctx: FlushContext,
     key: Hashable,
     spare_k_filled_residents: bool,
+    cause: str,
 ) -> int:
     """Evict (most of) one entry; returns bytes freed.
 
     With ``spare_k_filled_residents`` (MK Phase 2), postings whose record
     also exists in a k-filled entry stay behind and the entry survives,
-    shrunken; otherwise the entry is removed wholesale.
+    shrunken; otherwise the entry is removed wholesale.  ``cause`` is the
+    phase recorded in the eviction ledger.
     """
     entry = engine.index.get(key)
     if entry is None:
@@ -159,8 +163,10 @@ def _flush_entry(
         removed = entry.drain()
     engine.index.charge_removed_postings(len(removed), key, entry=entry)
     cache = engine.flush_cache
-    if cache is not None and removed:
-        cache.invalidate(key)
+    if removed:
+        if cache is not None:
+            cache.invalidate(key)
+        engine.note_eviction(key, cause, ctx.now, len(removed))
     freed = 0
     for posting in removed:
         freed += _evict_posting(engine, ctx, key, posting)
@@ -222,7 +228,11 @@ def run_phase2(engine: "KFlushingEngine", ctx: FlushContext) -> None:
         freed = 0
         for _ts, _cost, key in victims:
             freed += _flush_entry(
-                engine, ctx, key, spare_k_filled_residents=engine.mk_enabled
+                engine,
+                ctx,
+                key,
+                spare_k_filled_residents=engine.mk_enabled,
+                cause=PHASE_AGGRESSIVE,
             )
     _note_phase(engine, ctx, PHASE_AGGRESSIVE, freed)
 
@@ -267,7 +277,11 @@ def run_phase3(engine: "KFlushingEngine", ctx: FlushContext) -> None:
             round_freed = 0
             for _ts, _cost, key in victims:
                 round_freed += _flush_entry(
-                    engine, ctx, key, spare_k_filled_residents=False
+                    engine,
+                    ctx,
+                    key,
+                    spare_k_filled_residents=False,
+                    cause=PHASE_FORCED,
                 )
             freed += round_freed
             if round_freed == 0:

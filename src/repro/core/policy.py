@@ -25,6 +25,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Optional, Sequence
 
+from repro.core.eviction_ledger import EvictionLedger, EvictionRecord
 from repro.errors import ConfigurationError
 from repro.model.attributes import AttributeExtractor
 from repro.model.microblog import Microblog
@@ -124,6 +125,12 @@ class MemoryEngine(ABC):
         self.flush_fraction = flush_fraction
         self.disk = disk
         self.obs = obs if obs is not None else Instrumentation()
+        #: Eviction-cause ledger (PR 5): populated only when the shared
+        #: Instrumentation has attribution on, None otherwise so the
+        #: default path pays a single None test per eviction.
+        self.eviction_ledger: Optional[EvictionLedger] = (
+            EvictionLedger() if self.obs.attribution else None
+        )
         self.flush_reports: list[FlushReport] = []
 
     # ------------------------------------------------------------------
@@ -179,12 +186,35 @@ class MemoryEngine(ABC):
     def flush(self, now: float) -> FlushReport:
         """Evict at least the flush budget to disk; returns the report."""
 
+    def note_eviction(self, key: Hashable, cause: str, at: float, postings: int) -> None:
+        """Record one eviction decision in the ledger (no-op when
+        attribution is off).  Policies call this wherever they drop
+        postings; the executor reads it back on memory misses."""
+        ledger = self.eviction_ledger
+        if ledger is not None:
+            ledger.record(key, cause, at, postings)
+
+    def eviction_cause(self, key: Hashable) -> Optional[EvictionRecord]:
+        """The latest eviction record for ``key``, or None (also None
+        whenever attribution is off)."""
+        ledger = self.eviction_ledger
+        if ledger is None:
+            return None
+        return ledger.get(key)
+
     def run_flush(self, now: float) -> FlushReport:
         """Template wrapper: times the flush, records the report, and
-        emits the flush span/event plus freed-byte counters."""
+        emits the flush span/event plus freed-byte counters.  With
+        tracing on, the whole cycle becomes a ``flush`` trace the
+        per-phase spans attach to."""
         start = time.perf_counter()
-        with self.obs.span("flush", policy=self.name):
-            report = self.flush(now)
+        with self.obs.trace("flush", policy=self.name) as trace_ctx:
+            with self.obs.span("flush", policy=self.name):
+                report = self.flush(now)
+            if trace_ctx is not None:
+                trace_ctx.fields["freed_bytes"] = report.freed_bytes
+                trace_ctx.fields["target_bytes"] = report.target_bytes
+                trace_ctx.fields["at"] = now
         report.wall_seconds = time.perf_counter() - start
         self.flush_reports.append(report)
         registry = self.obs.registry

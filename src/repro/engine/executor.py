@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.core.eviction_ledger import CAUSE_NEVER_RESIDENT
 from repro.core.policy import MemoryEngine
 from repro.engine.latency import QueryCostModel
 from repro.engine.queries import CombineMode, TopKQuery
@@ -91,6 +92,9 @@ class QueryExecutor:
         #: answers and are flagged as such.
         self._and_scan_depth = and_scan_depth
         self._and_disk_limit = and_disk_limit
+        #: Eviction-cause miss attribution (PR 5): cached so the hot
+        #: path pays one boolean test when the switch is off.
+        self._attribution = self._obs.attribution
         #: Wall seconds spent in policy bookkeeping triggered by queries
         #: (LRU recency touches, kFlushing last-query stamps).  In a real
         #: deployment this work contends with the digestion thread, which
@@ -102,7 +106,25 @@ class QueryExecutor:
     # ------------------------------------------------------------------
 
     def execute(self, query: TopKQuery, now: float) -> QueryResult:
-        """Evaluate ``query`` at time ``now`` and return its result."""
+        """Evaluate ``query`` at time ``now`` and return its result.
+
+        With tracing on, the whole evaluation becomes a ``query`` trace:
+        shard scatter-gather and disk lookups emit child spans, and the
+        root event carries the outcome (hit, disk lookups, miss cause).
+        """
+        obs = self._obs
+        if not obs.tracing:
+            return self._execute(query, now)
+        with obs.trace(
+            "query", mode=query.mode.value, keys=len(query.keys), k=query.k
+        ) as trace_ctx:
+            result = self._execute(query, now)
+            trace_ctx.fields["hit"] = result.memory_hit
+            trace_ctx.fields["disk_lookups"] = result.disk_lookups
+            trace_ctx.fields["at"] = now
+            return result
+
+    def _execute(self, query: TopKQuery, now: float) -> QueryResult:
         io_before = self._disk.stats.simulated_io_seconds
         if query.mode is CombineMode.SINGLE:
             result = self._single(query, now)
@@ -134,6 +156,17 @@ class QueryExecutor:
         registry.histogram("query.simulated_latency_seconds").record(
             result.simulated_latency
         )
+        extra: dict = {}
+        if self._attribution and not result.memory_hit:
+            cause = self._miss_cause(query)
+            registry.counter(f"query.miss.cause.{cause}").inc()
+            registry.counter(f"query.{mode}.miss.cause.{cause}").inc()
+            extra["miss_cause"] = cause
+        trace_ctx = self._obs.current_trace
+        if trace_ctx is not None:
+            extra["trace"] = trace_ctx.trace_id
+            if "miss_cause" in extra:
+                trace_ctx.fields["miss_cause"] = extra["miss_cause"]
         self._obs.event(
             "query",
             mode=mode,
@@ -146,7 +179,23 @@ class QueryExecutor:
             answered=len(result.postings),
             at=result.executed_at,
             simulated_latency=result.simulated_latency,
+            **extra,
         )
+
+    def _miss_cause(self, query: TopKQuery) -> str:
+        """Which eviction decision explains this memory miss.
+
+        The most recently recorded eviction across the queried keys wins
+        (strict ``>`` on logical time keeps ties deterministic at the
+        first queried key); keys with no ledger entry were never evicted
+        — if none has one, the data was simply never memory-complete.
+        """
+        best = None
+        for key in query.keys:
+            record = self._engine.eviction_cause(key)
+            if record is not None and (best is None or record.at > best.at):
+                best = record
+        return best.cause if best is not None else CAUSE_NEVER_RESIDENT
 
     def materialize(self, result: QueryResult) -> list[Microblog]:
         """Fetch the record bodies of a result (memory first, then disk)."""

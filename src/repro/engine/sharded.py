@@ -215,13 +215,26 @@ class _RoutedDisk:
     across shard archives, charging exactly one read), and ``stats``.
     """
 
-    def __init__(self, shards: list[Shard], router: ShardRouter) -> None:
+    def __init__(
+        self,
+        shards: list[Shard],
+        router: ShardRouter,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
         self._shards = shards
         self._router = router
+        self._obs = obs if obs is not None else Instrumentation()
         self.stats = _RoutedDiskStats(shards)
 
     def lookup(self, key: Hashable, limit: Optional[int] = None):
-        return self._shards[self._router.shard_of(key)].disk.lookup(key, limit=limit)
+        shard_id = self._router.shard_of(key)
+        obs = self._obs
+        if obs.current_trace is None:
+            return self._shards[shard_id].disk.lookup(key, limit=limit)
+        with obs.trace_span("shard.disk.lookup", shard=shard_id, key=str(key)) as extra:
+            result = self._shards[shard_id].disk.lookup(key, limit=limit)
+            extra["postings"] = len(result)
+            return result
 
     def elides(self, key: Hashable) -> bool:
         """Route the negative-lookup check to the shard owning ``key``."""
@@ -245,12 +258,32 @@ class _RoutedEngine:
     by the owning shard.
     """
 
-    def __init__(self, shards: list[Shard], router: ShardRouter) -> None:
+    def __init__(
+        self,
+        shards: list[Shard],
+        router: ShardRouter,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
         self._shards = shards
         self._router = router
+        self._obs = obs if obs is not None else Instrumentation()
 
     def lookup(self, key: Hashable, depth: Optional[int] = None) -> LookupResult:
-        return self._shards[self._router.shard_of(key)].engine.lookup(key, depth=depth)
+        shard_id = self._router.shard_of(key)
+        obs = self._obs
+        if obs.current_trace is None:
+            return self._shards[shard_id].engine.lookup(key, depth=depth)
+        with obs.trace_span(
+            "shard.memory.lookup", shard=shard_id, key=str(key)
+        ) as extra:
+            result = self._shards[shard_id].engine.lookup(key, depth=depth)
+            extra["candidates"] = len(result.candidates)
+            return result
+
+    def eviction_cause(self, key: Hashable):
+        """Route the miss-attribution probe to the shard owning ``key``
+        (each shard's engine keeps its own eviction ledger)."""
+        return self._shards[self._router.shard_of(key)].engine.eviction_cause(key)
 
     def note_query(
         self,
@@ -301,8 +334,8 @@ class ShardedMicroblogSystem(MicroblogSystemBase):
             for i in range(config.shards)
         ]
         self.executor = QueryExecutor(
-            _RoutedEngine(self.shards, self.router),
-            _RoutedDisk(self.shards, self.router),
+            _RoutedEngine(self.shards, self.router, self.obs),
+            _RoutedDisk(self.shards, self.router, self.obs),
             strict_and=strict_and,
             and_scan_depth=config.and_scan_depth,
             and_disk_limit=config.and_disk_limit,

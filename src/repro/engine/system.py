@@ -113,6 +113,13 @@ class MicroblogSystemBase(ABC):
     def hit_ratio(self) -> float:
         return self.stats.queries.hit_ratio
 
+    def miss_attribution(self) -> dict[str, int]:
+        """Memory misses grouped by the eviction decision that caused
+        them: ``{"phase1-regular": 12, "never-resident": 3, ...}``.
+        Empty unless the shared Instrumentation has ``attribution=True``
+        (and at least one miss occurred)."""
+        return self.obs.registry.counter_values("query.miss.cause.")
+
     @abstractmethod
     def k_filled_count(self) -> int:
         """Keys whose provable in-memory top-k is complete (Fig 7)."""

@@ -12,7 +12,13 @@ from typing import Sequence
 
 from repro.experiments.figures import FigureResult, Panel, SweepResult, TableResult
 
-__all__ = ["format_panel", "format_figure", "print_figure", "sparkline"]
+__all__ = [
+    "format_figure",
+    "format_miss_attribution",
+    "format_panel",
+    "print_figure",
+    "sparkline",
+]
 
 
 def _fmt_cell(value) -> str:
@@ -61,6 +67,34 @@ def sparkline(values: Sequence[float], width: int = 24) -> str:
         _SPARK_CHARS[1 + int((v - lo) / span * (len(_SPARK_CHARS) - 2))]
         for v in resampled
     )
+
+
+def format_miss_attribution(
+    causes: dict, total_misses: float = None, title: str = "Miss attribution"
+) -> str:
+    """Render the eviction-cause miss table (the Fig-7-style "why did
+    hit ratio move" report).
+
+    ``causes`` maps cause name → miss count (see
+    ``MicroblogSystemBase.miss_attribution`` and
+    ``repro.obs.traceview.miss_cause_table``).  ``total_misses``
+    defaults to the table's own sum; pass the registry's per-mode miss
+    total to surface attribution gaps.
+    """
+    parts = [f"-- {title} --"]
+    if not causes:
+        parts.append("(no attributed misses — run with attribution enabled)")
+        return "\n".join(parts)
+    total = total_misses if total_misses is not None else sum(causes.values())
+    rows = [
+        [cause, count, f"{count / total:.1%}" if total else "-"]
+        for cause, count in sorted(
+            causes.items(), key=lambda item: (-item[1], item[0])
+        )
+    ]
+    parts.append(_render_table(["cause", "misses", "share"], rows))
+    parts.append(f"(total attributed: {sum(causes.values())} of {int(total)} misses)")
+    return "\n".join(parts)
 
 
 def format_panel(panel: Panel) -> str:

@@ -19,6 +19,7 @@ the way thread contention does in the paper's testbed.
 from __future__ import annotations
 
 import math
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
@@ -156,10 +157,26 @@ def _warm_up(system: MicroblogSystemBase, stream: MicroblogStream, spec: TrialSp
 
 
 def _trial_obs(metrics_path: Optional[Union[str, Path]]) -> Optional[Instrumentation]:
-    """A JSONL-sinked Instrumentation when a metrics path was requested."""
+    """A JSONL-sinked Instrumentation when a metrics path was requested.
+
+    Metrics-collecting runs get the full observability surface: trace
+    trees for every query/flush and eviction-cause miss attribution.
+    Runs without a metrics path keep the zero-cost defaults.
+    """
     if metrics_path is None:
         return None
-    return Instrumentation(sink=JsonlSink(metrics_path))
+    # Parallel workers write per-spec shards named <parent>.wNNN that get
+    # merged into one file; namespace their trace ids by the shard index
+    # (deterministic — it is the spec's position in the grid) so ids from
+    # different workers never collide in the merged stream.
+    match = re.search(r"\.w(\d+)$", Path(metrics_path).name)
+    prefix = f"w{match.group(1)}." if match else ""
+    return Instrumentation(
+        sink=JsonlSink(metrics_path),
+        tracing=True,
+        attribution=True,
+        trace_prefix=prefix,
+    )
 
 
 def _finish_trial_metrics(

@@ -11,8 +11,16 @@ opts in via :func:`activated` or an explicit sink.
 from repro.obs.events import EventSink, JsonlSink, ListSink, NullSink
 from repro.obs.export import to_json, to_prometheus_text
 from repro.obs.instrument import Instrumentation
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
 from repro.obs.runtime import activated, get_active, set_active
+from repro.obs.server import OpsServer
+from repro.obs.trace import TraceContext
 
 __all__ = [
     "Counter",
@@ -24,8 +32,11 @@ __all__ = [
     "ListSink",
     "MetricsRegistry",
     "NullSink",
+    "OpsServer",
+    "TraceContext",
     "activated",
     "get_active",
+    "merge_snapshots",
     "set_active",
     "to_json",
     "to_prometheus_text",

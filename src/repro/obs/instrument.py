@@ -14,6 +14,24 @@ holds an :class:`Instrumentation` and calls three things on it:
 Construction is cheap and the default sink is :class:`NullSink`, so
 components can instrument unconditionally; turning observability "on"
 means handing them a shared Instrumentation with a real sink.
+
+Tracing (PR 5) rides on the same object.  With ``tracing=True``:
+
+* ``with obs.trace(name, **fields):`` opens a new root trace with a
+  deterministic id (see :mod:`repro.obs.trace`) and emits a
+  ``{"type": "trace"}`` event when it closes;
+* ``with obs.trace_span(name, **fields):`` times a child span of the
+  current trace (a no-op when no trace is open), and
+  ``obs.trace_point(name, **fields)`` records an instantaneous child;
+* ``span()`` events emitted while a trace is open additionally carry
+  ``trace``/``span``/``parent_span`` ids, which is how the pre-existing
+  per-phase flush spans attach to their flush trace.
+
+``attribution=True`` is a sibling switch read by the memory engines and
+the query executor: engines keep an eviction-cause ledger and the
+executor attributes every memory miss to the eviction decision that
+caused it (``query.miss.cause.*``).  Both switches default to off, so
+the default configuration pays nothing beyond one boolean test.
 """
 
 from __future__ import annotations
@@ -24,6 +42,7 @@ from typing import Iterator, Optional
 
 from repro.obs.events import EventSink, NullSink
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceContext
 
 __all__ = ["Instrumentation"]
 
@@ -35,10 +54,27 @@ class Instrumentation:
         self,
         registry: Optional[MetricsRegistry] = None,
         sink: Optional[EventSink] = None,
+        *,
+        tracing: bool = False,
+        attribution: bool = False,
+        trace_prefix: str = "",
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.sink = sink if sink is not None else NullSink()
+        #: Emit per-request trace trees (query/flush traces, child spans).
+        self.tracing = tracing
+        #: Maintain eviction ledgers and attribute memory misses to the
+        #: eviction decision that caused them.
+        self.attribution = attribution
+        #: Namespace prepended to trace ids.  Serial ids are unique only
+        #: within one Instrumentation; when several instances write into
+        #: one merged file (parallel trial workers), each needs a
+        #: distinct, *deterministic* prefix (e.g. ``"w003."``) so traces
+        #: stay separable offline.
+        self.trace_prefix = trace_prefix
         self._span_stack: list[str] = []
+        self._trace: Optional[TraceContext] = None
+        self._trace_serial = 0
 
     # ------------------------------------------------------------------
     # Events
@@ -61,10 +97,17 @@ class Instrumentation:
         The wall-clock duration lands in the ``span.<name>.seconds``
         histogram; the emitted ``span`` event records ``parent`` (the
         enclosing span's name, or None at top level) plus any extra
-        ``fields``.
+        ``fields``.  While a trace is open, the event additionally
+        carries ``trace``/``span``/``parent_span`` ids so the span slots
+        into the trace tree.
         """
         parent = self._span_stack[-1] if self._span_stack else None
         self._span_stack.append(name)
+        ctx = self._trace
+        if ctx is not None:
+            span_id = ctx.allocate_span()
+            parent_span = ctx.current_span_id
+            ctx.push(span_id)
         start = time.perf_counter()
         try:
             yield
@@ -72,11 +115,122 @@ class Instrumentation:
             elapsed = time.perf_counter() - start
             self._span_stack.pop()
             self.registry.histogram(f"span.{name}.seconds").record(elapsed)
-            self.event("span", name=name, parent=parent, seconds=elapsed, **fields)
+            if ctx is not None:
+                ctx.pop()
+                self.event(
+                    "span",
+                    name=name,
+                    parent=parent,
+                    seconds=elapsed,
+                    trace=ctx.trace_id,
+                    span=span_id,
+                    parent_span=parent_span,
+                    **fields,
+                )
+            else:
+                self.event("span", name=name, parent=parent, seconds=elapsed, **fields)
 
     @property
     def current_span(self) -> Optional[str]:
         return self._span_stack[-1] if self._span_stack else None
+
+    # ------------------------------------------------------------------
+    # Traces
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def trace(self, name: str, **fields) -> Iterator[Optional[TraceContext]]:
+        """Open a new root trace around a block of work.
+
+        Yields the :class:`TraceContext` (or None when tracing is off —
+        callers that write to ``ctx.fields`` should gate on
+        ``obs.tracing`` first).  The root ``{"type": "trace"}`` event is
+        emitted when the block exits, carrying ``fields`` plus whatever
+        the block added to ``ctx.fields``; child spans opened inside via
+        :meth:`trace_span`/:meth:`span` reference it by trace id.
+        """
+        if not self.tracing:
+            yield None
+            return
+        previous = self._trace
+        self._trace_serial += 1
+        ctx = TraceContext(f"{self.trace_prefix}{name}-{self._trace_serial}", name)
+        self._trace = ctx
+        root_id = ctx.allocate_span()
+        ctx.push(root_id)
+        start = time.perf_counter()
+        try:
+            yield ctx
+        finally:
+            elapsed = time.perf_counter() - start
+            ctx.pop()
+            self._trace = previous
+            self.event(
+                "trace",
+                trace=ctx.trace_id,
+                span=root_id,
+                parent_span=None,
+                name=name,
+                seconds=elapsed,
+                **fields,
+                **ctx.fields,
+            )
+
+    @contextmanager
+    def trace_span(self, name: str, **fields) -> Iterator[Optional[dict]]:
+        """Time a child span of the current trace.
+
+        A no-op (yields None) when no trace is open, so instrumented
+        components can call it unconditionally on request paths.  Yields
+        a dict the block may add fields to; the merged fields ride on
+        the span's ``{"type": "trace"}`` event at exit.
+        """
+        ctx = self._trace
+        if ctx is None:
+            yield None
+            return
+        span_id = ctx.allocate_span()
+        parent_span = ctx.current_span_id
+        ctx.push(span_id)
+        extra: dict = {}
+        start = time.perf_counter()
+        try:
+            yield extra
+        finally:
+            elapsed = time.perf_counter() - start
+            ctx.pop()
+            self.event(
+                "trace",
+                trace=ctx.trace_id,
+                span=span_id,
+                parent_span=parent_span,
+                name=name,
+                seconds=elapsed,
+                **fields,
+                **extra,
+            )
+
+    def trace_point(self, name: str, **fields) -> None:
+        """Record an instantaneous (zero-duration) child of the current
+        trace — e.g. an elided disk lookup.  No-op outside a trace."""
+        ctx = self._trace
+        if ctx is None:
+            return
+        span_id = ctx.allocate_span()
+        self.event(
+            "trace",
+            trace=ctx.trace_id,
+            span=span_id,
+            parent_span=ctx.current_span_id,
+            name=name,
+            seconds=0.0,
+            **fields,
+        )
+
+    @property
+    def current_trace(self) -> Optional[TraceContext]:
+        """The open trace context, or None."""
+        return self._trace
 
     # ------------------------------------------------------------------
     # Convenience

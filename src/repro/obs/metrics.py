@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "merge_snapshots"]
 
 
 class Counter:
@@ -97,7 +97,13 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Upper bound of the bucket holding the p-th percentile."""
+        """Upper bound of the bucket holding the p-th percentile,
+        clamped to the observed maximum.
+
+        Without the clamp the bucket bound can exceed every sample ever
+        recorded (e.g. all-sub-microsecond samples reporting p50 = 2µs
+        while ``max`` < 1µs), which makes percentiles non-physical.
+        """
         if not 0.0 < p <= 100.0:
             raise ValueError(f"p must be in (0, 100], got {p}")
         if self.count == 0:
@@ -107,10 +113,16 @@ class Histogram:
         for index, count in enumerate(self._counts):
             running += count
             if running >= threshold:
-                return self.scale * (2.0 ** (index + 1))
+                return min(self.scale * (2.0 ** (index + 1)), self.max)
         return self.max  # pragma: no cover - unreachable
 
     def snapshot(self) -> dict:
+        # Trailing zero buckets are trimmed: the list is only as long as
+        # the highest occupied bucket, so idle histograms stay tiny in
+        # JSONL snapshots while merge_snapshot can still rebuild state.
+        counts = list(self._counts)
+        while counts and counts[-1] == 0:
+            counts.pop()
         return {
             "count": self.count,
             "sum": self.total,
@@ -120,7 +132,40 @@ class Histogram:
             "p50": self.percentile(50.0),
             "p95": self.percentile(95.0),
             "p99": self.percentile(99.0),
+            "scale": self.scale,
+            "buckets": counts,
         }
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Count/sum add, min/max widen, and bucket counts add bucketwise —
+        so percentiles of the merged histogram are exactly what a single
+        histogram fed both sample streams would report.  Snapshots that
+        predate the ``buckets`` field degrade gracefully: their whole
+        count lands in the bucket of their mean.
+        """
+        count = snap.get("count", 0)
+        if not count:
+            return
+        scale = snap.get("scale", self.scale)
+        if scale != self.scale:
+            raise ValueError(
+                f"cannot merge histogram snapshots with different scales "
+                f"({scale} != {self.scale})"
+            )
+        self.count += count
+        self.total += snap.get("sum", 0.0)
+        if snap.get("min", math.inf) < self.min:
+            self.min = snap["min"]
+        if snap.get("max", 0.0) > self.max:
+            self.max = snap["max"]
+        buckets = snap.get("buckets")
+        if buckets is None:
+            self._counts[self._bucket(snap.get("mean", 0.0))] += count
+        else:
+            for index, bucket_count in enumerate(buckets[: self._BUCKETS]):
+                self._counts[index] += bucket_count
 
 
 class MetricsRegistry:
@@ -167,6 +212,18 @@ class MetricsRegistry:
             or name in self._histograms
         )
 
+    def counter_values(self, prefix: str) -> dict:
+        """Counters whose name starts with ``prefix``, keyed by the
+        remainder of the name (``counter_values("query.miss.cause.")``
+        → ``{"phase1-regular": 3, ...}``).  Zero-valued counters are
+        skipped."""
+        offset = len(prefix)
+        return {
+            name[offset:]: metric.value
+            for name, metric in sorted(self._counters.items())
+            if name.startswith(prefix) and metric.value
+        }
+
     def snapshot(self) -> dict:
         """JSON-serialisable view of every metric, names sorted."""
         return {
@@ -182,8 +239,38 @@ class MetricsRegistry:
             },
         }
 
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        Counters sum, gauges take the incoming value (last write wins —
+        point-in-time values from different workers are not additive),
+        histograms merge exactly via :meth:`Histogram.merge_snapshot`.
+        This is how per-worker registries from ``run_trials(jobs=N)``
+        aggregate into one picture.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, hist_snap in snapshot.get("histograms", {}).items():
+            scale = hist_snap.get("scale", 1e-6)
+            self.histogram(name, scale=scale).merge_snapshot(hist_snap)
+
     def reset(self) -> None:
         """Drop every metric (measurement-window boundaries)."""
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+
+
+def merge_snapshots(snapshots) -> dict:
+    """Aggregate an iterable of registry snapshots into one snapshot.
+
+    Convenience over :meth:`MetricsRegistry.merge` for offline
+    aggregation of the per-worker ``.wNNN`` part snapshots that
+    ``run_trials(jobs=N, metrics_path=...)`` leaves in the event stream.
+    """
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge(snapshot)
+    return merged.snapshot()

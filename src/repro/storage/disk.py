@@ -370,6 +370,7 @@ class DiskArchive:
             return False
         self.stats.lookups_elided += 1
         self._count("lookups_elided")
+        self.obs.trace_point("disk.elide", key=str(key), shard=self.shard_id)
         return True
 
     def lookup(
@@ -382,16 +383,35 @@ class DiskArchive:
         actually read.  Bounded lookups return a materialized sequence and
         consult the read cache when enabled; unbounded lookups return a
         zero-copy best-first view over the live runs (consume it before
-        the next ``commit_flush``).
+        the next ``commit_flush``).  Inside an open trace, each lookup
+        becomes a ``disk.lookup`` child span recording cache outcome,
+        runs merged, and postings returned.
         """
+        if self.obs.current_trace is None:
+            return self._lookup(key, limit, None)
+        with self.obs.trace_span(
+            "disk.lookup", key=str(key), shard=self.shard_id
+        ) as extra:
+            result = self._lookup(key, limit, extra)
+            extra["postings"] = len(result)
+            extra["runs"] = self.run_count(key)
+            return result
+
+    def _lookup(
+        self, key: Hashable, limit: Optional[int], trace: Optional[dict]
+    ) -> Sequence[Posting]:
         if limit is not None and self.cache is not None:
             block = self.cache.get(key, limit)
             if block is not None:
                 self.stats.cache_hits += 1
                 self._count("cache.hits")
+                if trace is not None:
+                    trace["cache"] = "hit"
                 return self._charge_read(block, seek=False)
             self.stats.cache_misses += 1
             self._count("cache.misses")
+            if trace is not None:
+                trace["cache"] = "miss"
             result = self._read_index(key, limit)
             evicted = self.cache.put(key, limit, tuple(result))
             if evicted:
