@@ -11,19 +11,22 @@ Subcommands
     each trial's system over N shards; ``--disk-cache-bytes`` /
     ``--disk-elide-empty`` enable the modelled disk read cache and
     negative-lookup elision (both off by default — answers never change,
-    only disk-lookup counts and simulated latency); ``--metrics-out``
-    streams every instrumentation event of the run (flush spans, query
-    events, final snapshot) to a JSONL file — parallel workers write
-    per-trial metric shards that are merged into the same file after the
-    pool drains.
-``bench [--preset tiny] [--seed 42] [--jobs 2] [--out BENCH_PR4.json]``
+    only disk-lookup counts and simulated latency); ``--pipelined``
+    rotates over-budget memtables to background flush workers instead of
+    flushing inline; ``--metrics-out`` streams every instrumentation
+    event of the run (flush spans, query events, final snapshot) to a
+    JSONL file — parallel workers write per-trial metric shards that are
+    merged into the same file after the pool drains.
+``bench [--preset tiny] [--seed 42] [--jobs 2] [--out BENCH_PR6.json]``
     Run the performance benchmark suites (k-filled sampling, digestion
-    rate, flush cost, sweep wall-clock, shard scaling, disk tier) and
-    write the perf-trajectory JSON (see docs/PERFORMANCE.md).
-``stats [--shards 4] [--disk-cache-bytes N] [--disk-elide-empty]``
+    rate, flush cost, sweep wall-clock, shard scaling, disk tier,
+    pipelined ingest stalls) and write the perf-trajectory JSON (see
+    docs/PERFORMANCE.md).
+``stats [--shards 4] [--disk-cache-bytes N] [--disk-elide-empty] [--pipelined]``
     Run a tiny synthetic workload and dump the instrumentation registry
     (flush phase spans, per-mode query counters, disk I/O, per-shard
-    gauges when sharded) as JSON or Prometheus-style text; the system's
+    gauges when sharded, ingest-stall histogram and pipeline counters
+    when pipelined) as JSON or Prometheus-style text; the system's
     invariants are checked before the dump.
 ``trace metrics.jsonl [--top 5] [--require-miss-causes]``
     Offline analysis of an events JSONL (``--metrics-out`` /
@@ -95,13 +98,14 @@ def _figure_kwargs(
     shards: int = 1,
     disk_cache_bytes: int = 0,
     disk_elide_empty: bool = False,
+    pipelined: bool = False,
 ) -> dict:
     """Keyword arguments for one figure function.
 
-    ``jobs``, ``shards``, and the disk-tier gates are forwarded only to
-    figures whose signatures support them (the extension experiments,
-    for instance, run serially; fig5 is an engine-level experiment with
-    no sharded variant).
+    ``jobs``, ``shards``, the disk-tier gates, and ``pipelined`` are
+    forwarded only to figures whose signatures support them (the
+    extension experiments, for instance, run serially; fig5 is an
+    engine-level experiment with no sharded variant).
     """
     kwargs = {"seed": seed}
     params = inspect.signature(fn).parameters
@@ -113,6 +117,8 @@ def _figure_kwargs(
         kwargs["disk_cache_bytes"] = disk_cache_bytes
     if disk_elide_empty and "disk_elide_empty" in params:
         kwargs["disk_elide_empty"] = disk_elide_empty
+    if pipelined and "pipelined" in params:
+        kwargs["pipelined"] = pipelined
     return kwargs
 
 
@@ -149,6 +155,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 args.shards,
                 disk_cache_bytes=args.disk_cache_bytes,
                 disk_elide_empty=args.disk_elide_empty,
+                pipelined=args.pipelined,
             )
             start = time.perf_counter()
             if obs is not None:
@@ -311,6 +318,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         shards=args.shards,
         disk_cache_bytes=args.disk_cache_bytes,
         disk_elide_empty=args.disk_elide_empty,
+        pipelined_ingest=args.pipelined,
+        flush_workers=args.flush_workers,
     )
     system = build_system(config, obs=obs)
     stream = MicroblogStream(
@@ -324,12 +333,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         ingested += 1
         if ingested % per_query == 0:
             system.search(queries.next_query())
+    # Fold any in-flight pipelined flush back in before checking.
+    system.quiesce()
     # Invariant check through the facade: per-engine structure plus, when
     # sharded, the router's key-ownership invariant on every shard.
     system.check_integrity()
     # snapshot() refreshes the per-shard gauges into the registry, so the
     # rendered dump includes shard.<i>.* series for a sharded run.
     system.snapshot()
+    system.close()
     obs.close()
     rendered = (
         to_prometheus_text(obs.registry)
@@ -448,6 +460,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--pipelined",
+        action="store_true",
+        help=(
+            "pipelined ingest: rotate over-budget memtables to background "
+            "flush workers instead of flushing inline (answers unchanged; "
+            "removes the per-flush ingest stall)"
+        ),
+    )
+    run.add_argument(
         "--serve",
         type=int,
         default=None,
@@ -474,7 +495,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        default="BENCH_PR4.json",
+        default="BENCH_PR6.json",
         metavar="PATH",
         help="where to write the benchmark records (JSON)",
     )
@@ -545,6 +566,24 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "skip disk lookups for keys the archive provably holds no "
             "postings for (never changes answers)"
+        ),
+    )
+    stats.add_argument(
+        "--pipelined",
+        action="store_true",
+        help=(
+            "pipelined ingest: background flush workers + memtable "
+            "rotation (adds ingest.stall_seconds / pipeline.* series)"
+        ),
+    )
+    stats.add_argument(
+        "--flush-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "flush worker threads under --pipelined (default: one per "
+            "shard; 0 = deterministic inline drain)"
         ),
     )
     stats.set_defaults(fn=_cmd_stats)

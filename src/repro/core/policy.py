@@ -207,15 +207,21 @@ class MemoryEngine(ABC):
         emits the flush span/event plus freed-byte counters.  With
         tracing on, the whole cycle becomes a ``flush`` trace the
         per-phase spans attach to."""
-        start = time.perf_counter()
         with self.obs.trace("flush", policy=self.name) as trace_ctx:
             with self.obs.span("flush", policy=self.name):
+                # Time exactly the eviction work: entering/exiting the
+                # trace and span managers (and emitting their events) is
+                # observability overhead that must not be charged to
+                # flush wall time — it would leak into
+                # effective_digestion_rate() and skew the policy
+                # comparison whenever tracing or a slow sink is on.
+                start = time.perf_counter()
                 report = self.flush(now)
+                report.wall_seconds = time.perf_counter() - start
             if trace_ctx is not None:
                 trace_ctx.fields["freed_bytes"] = report.freed_bytes
                 trace_ctx.fields["target_bytes"] = report.target_bytes
                 trace_ctx.fields["at"] = now
-        report.wall_seconds = time.perf_counter() - start
         self.flush_reports.append(report)
         registry = self.obs.registry
         registry.counter("flush.count").inc()
@@ -239,6 +245,34 @@ class MemoryEngine(ABC):
             wall_seconds=report.wall_seconds,
         )
         return report
+
+    # ------------------------------------------------------------------
+    # Memtable rotation (pipelined ingest)
+    # ------------------------------------------------------------------
+
+    def drain_records(self) -> Iterable[Microblog]:
+        """Every memory-resident record, in the order a sibling engine
+        should re-digest them to preserve this policy's bookkeeping
+        (arrival order for kFlushing/FIFO, LRU-to-MRU for LRU).  Used by
+        :meth:`absorb` when a rotated overlay memtable is merged back
+        into its long-lived sibling; policies that cannot hand their
+        contents off must raise."""
+        raise NotImplementedError(
+            f"{self.name} does not support memtable handoff"
+        )
+
+    def absorb(self, other: "MemoryEngine") -> int:
+        """Merge another engine's resident records into this one (the
+        pipelined-ingest reconcile step: the small active overlay is
+        folded back into its freshly flushed sibling).  Returns how many
+        records were re-digested.  The two engines must hold disjoint
+        record ids — a record is only ever inserted into exactly one
+        memtable."""
+        count = 0
+        for record in other.drain_records():
+            if self.insert(record):
+                count += 1
+        return count
 
     # ------------------------------------------------------------------
     # Metrics and extensibility

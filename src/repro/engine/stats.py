@@ -35,7 +35,11 @@ class QueryStats:
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     def record(
-        self, mode: CombineMode, memory_hit: bool, latency_seconds: float = 0.0
+        self,
+        mode: CombineMode,
+        memory_hit: bool,
+        latency_seconds: float = 0.0,
+        disk_lookups: int = 0,
     ) -> None:
         self.queries += 1
         counters = self.by_mode.setdefault(mode.value, [0, 0])
@@ -44,7 +48,11 @@ class QueryStats:
             self.memory_hits += 1
             counters[1] += 1
         else:
-            self.disk_reads += 1
+            # Count the disk index lookups the query actually paid: a
+            # miss whose every disk probe was elided (negative-lookup
+            # elision) read nothing from disk and must not inflate
+            # disk_reads; an OR miss over several keys may pay several.
+            self.disk_reads += disk_lookups
         # Every sample counts: dropping zero-latency queries would bias
         # latency_percentile() upward (hits cost ~0 under a null model).
         self.latency.record(latency_seconds)
@@ -79,6 +87,21 @@ class IngestStats:
     insert_seconds: float = 0.0
     #: Wall seconds spent inside flush operations.
     flush_seconds: float = 0.0
+    #: Ingest-path pauses: one stall is any pause the write path could
+    #: not overlap with digestion — the whole flush in synchronous mode;
+    #: backpressure waits and non-empty overlay reconciles in pipelined
+    #: mode.  The per-pause distribution lives in the instrumentation
+    #: histogram ``ingest.stall_seconds``.
+    stalls: int = 0
+    stall_seconds: float = 0.0
+    max_stall_seconds: float = 0.0
+
+    def record_stall(self, seconds: float) -> None:
+        """Account one ingest-path pause."""
+        self.stalls += 1
+        self.stall_seconds += seconds
+        if seconds > self.max_stall_seconds:
+            self.max_stall_seconds = seconds
 
     @property
     def digestion_rate(self) -> float:

@@ -28,6 +28,7 @@ from repro.core import create_engine
 from repro.core.policy import FlushReport, MemoryEngine
 from repro.engine.clock import LogicalClock
 from repro.engine.executor import QueryExecutor, QueryResult
+from repro.engine.pipeline import FlushWorkerPool, LockedDiskView, PipelinedEngine
 from repro.engine.queries import TopKQuery
 from repro.engine.stats import SystemStats
 from repro.errors import CapacityError
@@ -87,13 +88,39 @@ class MicroblogSystemBase(ABC):
         executed_at = self.now if now is None else now
         result = self.executor.execute(query, executed_at)
         self.stats.queries.record(
-            query.mode, result.memory_hit, result.simulated_latency
+            query.mode,
+            result.memory_hit,
+            result.simulated_latency,
+            disk_lookups=result.disk_lookups,
         )
         return result
 
     def fetch_records(self, result: QueryResult) -> list[Microblog]:
         """Materialize the record bodies of a query result."""
         return self.executor.materialize(result)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def quiesce(self) -> None:
+        """Wait for any in-flight background flush work and fold rotated
+        memtables back in.  No-op for synchronous builds; pipelined
+        builds override it.  Call before reading final metrics."""
+
+    def close(self) -> None:
+        """Quiesce and release background resources (worker threads).
+        Idempotent; no-op for synchronous builds."""
+        self.quiesce()
+
+    def _record_stall(self, seconds: float) -> None:
+        """Account one ingest-path pause: a synchronous/inline flush, a
+        pipelined backpressure wait, or a non-empty reconcile.  Feeds the
+        ``ingest.stall_seconds`` histogram — the p99 of these pauses is
+        the pipelined-ingest headline metric."""
+        self.stats.ingest.record_stall(seconds)
+        self.obs.registry.counter("ingest.stalls").inc()
+        self.obs.registry.histogram("ingest.stall_seconds").record(seconds)
 
     # ------------------------------------------------------------------
     # Control and metrics
@@ -203,9 +230,34 @@ class MicroblogSystem(MicroblogSystemBase):
             disk=self.disk,
             obs=self.obs,
         )
+        #: Rotation coordinator when ``config.pipelined_ingest`` is on;
+        #: None keeps the synchronous inline-flush path byte-for-byte.
+        self._pipeline: Optional[PipelinedEngine] = None
+        self._pool: Optional[FlushWorkerPool] = None
+        if config.pipelined_ingest:
+            self._pool = FlushWorkerPool(
+                config.resolved_flush_workers(),
+                config.resolved_flush_queue_limit(),
+                obs=self.obs,
+            )
+            self._pipeline = PipelinedEngine(
+                engine=self.engine,
+                overlay_factory=self._build_overlay,
+                overlay_capacity_bytes=config.overlay_capacity(0),
+                pool=self._pool,
+                obs=self.obs,
+                record_stall=self._record_stall,
+                on_before_flush=self._sample_flush_before,
+                on_after_flush=self._note_flush_complete,
+            )
+        #: Store the executor and the metrics surface talk to: the
+        #: pipeline (active + immutable memtables) or the bare engine.
+        self._store = self._pipeline if self._pipeline is not None else self.engine
         self.executor = QueryExecutor(
-            self.engine,
-            self.disk,
+            self._store,
+            LockedDiskView(self.disk, self._pipeline.lock)
+            if self._pipeline is not None
+            else self.disk,
             strict_and=strict_and,
             and_scan_depth=config.and_scan_depth,
             and_disk_limit=config.and_disk_limit,
@@ -221,28 +273,61 @@ class MicroblogSystem(MicroblogSystemBase):
     def ingest(self, record: Microblog) -> bool:
         self.clock.advance_to(record.timestamp)
         self.stats.ingest.offered += 1
+        pipeline = self._pipeline
         start = time.perf_counter()
-        indexed = self.engine.insert(record)
+        indexed = self._store.insert(record)
         self.stats.ingest.insert_seconds += time.perf_counter() - start
         if indexed:
             self.stats.ingest.indexed += 1
         else:
             self.stats.ingest.skipped += 1
             return False
-        if self.engine.needs_flush():
+        if pipeline is not None:
+            pipeline.maybe_rotate(self.now)
+        elif self.engine.needs_flush():
             self._flush()
         return True
 
-    def _flush(self) -> FlushReport:
-        before = self.engine.memory_bytes
-        self.stats.sample_memory(
-            self.now, before, self.config.memory_capacity_bytes, kind="before"
+    def _build_overlay(self) -> MemoryEngine:
+        """A fresh same-policy engine to digest into while the long-lived
+        engine is frozen for a background flush."""
+        config = self.config
+        return create_engine(
+            config.policy,
+            model=config.memory_model,
+            ranking=self.ranking,
+            attribute=self.attribute,
+            k=self.engine.k,
+            capacity_bytes=config.overlay_capacity(0),
+            flush_fraction=config.flush_fraction,
+            disk=self.disk,
+            obs=self.obs,
         )
+
+    def _flush(self) -> FlushReport:
+        self._sample_flush_before(self.now)
         report = self.engine.run_flush(self.now)
+        # The synchronous flush stalls ingest for its whole wall time —
+        # the baseline pause the pipelined mode exists to remove.
+        self._record_stall(report.wall_seconds)
+        self._note_flush_complete(report, self.now)
+        return report
+
+    def _sample_flush_before(self, now: float) -> None:
+        self.stats.sample_memory(
+            now,
+            self.engine.memory_bytes,
+            self.config.memory_capacity_bytes,
+            kind="before",
+        )
+
+    def _note_flush_complete(self, report: FlushReport, now: float) -> None:
+        """Post-flush accounting; runs on the worker thread when a drain
+        completes in the background, inline otherwise."""
         self.stats.ingest.flush_seconds += report.wall_seconds
         after = self.engine.memory_bytes
         self.stats.sample_memory(
-            self.now, after, self.config.memory_capacity_bytes, kind="after"
+            now, after, self.config.memory_capacity_bytes, kind="after"
         )
         self.obs.registry.gauge("memory.bytes_used").set(after)
         self.obs.registry.gauge("memory.capacity_bytes").set(
@@ -254,32 +339,44 @@ class MicroblogSystem(MicroblogSystemBase):
                 f"{self.config.memory_capacity_bytes}; a single record may "
                 "exceed the memory budget"
             )
-        return report
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def quiesce(self) -> None:
+        if self._pipeline is not None:
+            self._pipeline.quiesce(self.now)
+
+    def close(self) -> None:
+        self.quiesce()
+        if self._pool is not None:
+            self._pool.close()
 
     # ------------------------------------------------------------------
     # Control and metrics
     # ------------------------------------------------------------------
 
     def set_k(self, k: int) -> None:
-        self.engine.set_k(k)
+        self._store.set_k(k)
 
     def k_filled_count(self) -> int:
-        return self.engine.k_filled_count()
+        return self._store.k_filled_count()
 
     def memory_utilization(self) -> float:
-        return self.engine.memory_bytes / self.config.memory_capacity_bytes
+        return self._store.memory_bytes / self.config.memory_capacity_bytes
 
     def frequency_snapshot(self) -> dict[Hashable, int]:
-        return self.engine.frequency_snapshot()
+        return self._store.frequency_snapshot()
 
     def flush_reports(self) -> list[FlushReport]:
         return self.engine.flush_reports
 
     def policy_overhead_bytes(self) -> int:
-        return self.engine.policy_overhead_bytes
+        return self._store.policy_overhead_bytes
 
     def check_integrity(self) -> None:
-        self.engine.check_integrity()
+        self._store.check_integrity()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

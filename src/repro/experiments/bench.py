@@ -25,7 +25,11 @@ machine-dependent — compare trajectories on one machine only):
   workload: ``commit_flush`` posting throughput under the segmented-runs
   layout vs the flat per-posting ``insort`` it replaced, bounded top-k
   lookup latency under both, and the cost of an unbounded lookup (lazy
-  merged view vs the old full reversed copy).
+  merged view vs the old full reversed copy);
+* ``pipeline`` — ingest-stall distribution (p99/max/total pause before a
+  record is digested) under synchronous inline flushing vs pipelined
+  memtable rotation with a background flush worker, plus the headline
+  p99 reduction ratio.
 
 Use ``benchmarks/perf/check_regression.py`` to gate a new file against a
 checked-in baseline.
@@ -43,6 +47,7 @@ from typing import Callable, Hashable, Optional, Sequence, Union
 from repro.experiments.parallel import run_trials
 from repro.experiments.runner import TrialSpec, _WARM_CHUNK, run_trial
 from repro.experiments.scale import PRESETS, ScalePreset
+from repro.obs import Instrumentation
 from repro.storage.disk import DiskArchive
 from repro.storage.memory_model import MemoryModel
 from repro.storage.posting_list import Posting
@@ -54,6 +59,7 @@ __all__ = [
     "bench_sweep_wallclock",
     "bench_shard_scaling",
     "bench_disk_tier",
+    "bench_pipelined_stalls",
     "run_bench",
     "ALL_SUITES",
 ]
@@ -366,19 +372,101 @@ def bench_disk_tier(
     return records
 
 
+def bench_pipelined_stalls(preset: ScalePreset, seed: int) -> list[BenchRecord]:
+    """Ingest-stall distribution: synchronous flushing vs pipelined rotation.
+
+    Both runs ingest the identical stream (warm-up plus ``eval_records``)
+    under kFlushing; the only difference is the flushing mode.  The
+    synchronous baseline pays the full flush wall time as one ingest
+    pause per flush; the pipelined run rotates the over-budget memtable
+    to one background worker and pauses only for backpressure waits and
+    non-empty reconciles.  The ``ingest.stall_seconds`` histogram (one
+    sample per pause, lifetime of the run) provides the p99; the
+    reduction ratio is the PR's headline artifact.
+    """
+    records: list[BenchRecord] = []
+    p99: dict[str, float] = {}
+    for mode, pipelined in (("sync", False), ("pipelined", True)):
+        obs = Instrumentation()
+        spec = TrialSpec(
+            policy="kflushing",
+            scale=preset,
+            seed=seed,
+            pipelined_ingest=pipelined,
+            flush_workers=1 if pipelined else None,
+        )
+        system = spec.build_system(obs=obs)
+        stream = spec.build_stream()
+        warmed = 0
+        while (
+            len(system.flush_reports()) < spec.scale.warm_flushes
+            and warmed < spec.scale.max_warm_records
+        ):
+            system.ingest_many(stream.take(_WARM_CHUNK))
+            warmed += _WARM_CHUNK
+        system.ingest_many(stream.take(spec.scale.eval_records))
+        system.quiesce()
+        ingest = system.stats.ingest
+        p99[mode] = obs.registry.histogram("ingest.stall_seconds").percentile(99.0)
+        records.extend(
+            [
+                BenchRecord(
+                    f"ingest_stall_p99_us_{mode}",
+                    "kflushing",
+                    p99[mode] * 1e6,
+                    "us",
+                    seed,
+                ),
+                BenchRecord(
+                    f"ingest_stall_max_us_{mode}",
+                    "kflushing",
+                    ingest.max_stall_seconds * 1e6,
+                    "us",
+                    seed,
+                ),
+                BenchRecord(
+                    f"ingest_stall_total_ms_{mode}",
+                    "kflushing",
+                    ingest.stall_seconds * 1e3,
+                    "ms",
+                    seed,
+                ),
+                BenchRecord(
+                    f"ingest_stall_count_{mode}",
+                    "kflushing",
+                    float(ingest.stalls),
+                    "count",
+                    seed,
+                ),
+            ]
+        )
+        system.close()
+    records.append(
+        BenchRecord(
+            "ingest_stall_p99_reduction",
+            "sync-vs-pipelined",
+            p99["sync"] / max(p99["pipelined"], 1e-9),
+            "x",
+            seed,
+        )
+    )
+    return records
+
+
 ALL_SUITES: dict[str, Callable[..., list[BenchRecord]]] = {
     "kfilled": lambda preset, seed, jobs: bench_kfilled_sampling(preset, seed),
     "digestion": lambda preset, seed, jobs: bench_digestion_and_flush(preset, seed),
     "sweep": bench_sweep_wallclock,
     "shards": lambda preset, seed, jobs: bench_shard_scaling(preset, seed),
     "disk": lambda preset, seed, jobs: bench_disk_tier(preset, seed),
+    "pipeline": lambda preset, seed, jobs: bench_pipelined_stalls(preset, seed),
 }
 
 
 def run_bench(
     preset: Union[str, ScalePreset] = "tiny",
     seed: int = 42,
-    out: Optional[Union[str, Path]] = "BENCH_PR4.json",
+    out: Optional[Union[str, Path]] = "BENCH_PR6.json",
     jobs: int = 2,
     suites: Optional[Sequence[str]] = None,
 ) -> list[BenchRecord]:

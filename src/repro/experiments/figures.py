@@ -291,9 +291,12 @@ def fig7_k_filled(
     shards: int = 1,
     disk_cache_bytes: int = 0,
     disk_elide_empty: bool = False,
+    pipelined: bool = False,
 ) -> FigureResult:
     disk_kwargs = dict(
-        disk_cache_bytes=disk_cache_bytes, disk_elide_empty=disk_elide_empty
+        disk_cache_bytes=disk_cache_bytes,
+        disk_elide_empty=disk_elide_empty,
+        pipelined_ingest=pipelined,
     )
 
     def measure(result: TrialResult) -> float:
@@ -379,9 +382,12 @@ def _hit_figure(
     shards: int = 1,
     disk_cache_bytes: int = 0,
     disk_elide_empty: bool = False,
+    pipelined: bool = False,
 ) -> FigureResult:
     disk_kwargs = dict(
-        disk_cache_bytes=disk_cache_bytes, disk_elide_empty=disk_elide_empty
+        disk_cache_bytes=disk_cache_bytes,
+        disk_elide_empty=disk_elide_empty,
+        pipelined_ingest=pipelined,
     )
 
     def measure(result: TrialResult) -> float:
@@ -473,6 +479,7 @@ def fig8_hit_correlated(
     shards: int = 1,
     disk_cache_bytes: int = 0,
     disk_elide_empty: bool = False,
+    pipelined: bool = False,
 ) -> FigureResult:
     return _hit_figure(
         "fig8",
@@ -486,6 +493,7 @@ def fig8_hit_correlated(
         shards=shards,
         disk_cache_bytes=disk_cache_bytes,
         disk_elide_empty=disk_elide_empty,
+        pipelined=pipelined,
     )
 
 
@@ -496,6 +504,7 @@ def fig9_hit_uniform(
     shards: int = 1,
     disk_cache_bytes: int = 0,
     disk_elide_empty: bool = False,
+    pipelined: bool = False,
 ) -> FigureResult:
     return _hit_figure(
         "fig9",
@@ -509,6 +518,7 @@ def fig9_hit_uniform(
         shards=shards,
         disk_cache_bytes=disk_cache_bytes,
         disk_elide_empty=disk_elide_empty,
+        pipelined=pipelined,
     )
 
 

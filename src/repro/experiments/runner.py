@@ -75,6 +75,12 @@ class TrialSpec:
     disk_cache_bytes: int = 0
     #: Skip provably-empty disk lookups on the executor miss paths.
     disk_elide_empty: bool = False
+    #: Rotate over-budget memtables to background flush workers instead
+    #: of flushing inline (False = the paper's synchronous flushing).
+    pipelined_ingest: bool = False
+    #: Worker threads for pipelined ingest (None = one per shard;
+    #: 0 = deterministic inline drain, the differential tests' mode).
+    flush_workers: int | None = None
 
     def build_system(self, obs: Optional[Instrumentation] = None) -> MicroblogSystemBase:
         config = SystemConfig(
@@ -89,6 +95,8 @@ class TrialSpec:
             shards=self.shards,
             disk_cache_bytes=self.disk_cache_bytes,
             disk_elide_empty=self.disk_elide_empty,
+            pipelined_ingest=self.pipelined_ingest,
+            flush_workers=self.flush_workers,
         )
         return build_system_from_config(
             config,
@@ -196,10 +204,22 @@ def _finish_trial_metrics(
     obs.close()
 
 
+def _ingest_baseline(system: MicroblogSystemBase) -> tuple:
+    """Ingest counters at the start of the measurement window."""
+    ingest = system.stats.ingest
+    return (
+        ingest.indexed,
+        ingest.insert_seconds,
+        ingest.flush_seconds,
+        ingest.stalls,
+        ingest.stall_seconds,
+    )
+
+
 def _collect_result(
     system: MicroblogSystemBase,
     spec: TrialSpec,
-    ingest0: tuple[int, float, float],
+    ingest0: tuple,
     book0: float,
     flushes0: int,
     extras: Optional[dict[str, float]] = None,
@@ -219,6 +239,20 @@ def _collect_result(
     denom = d_insert + d_flush + d_book
     reports = system.flush_reports()[flushes0:]
     qstats = system.stats.queries
+    # Ingest-stall accounting over the window (the pipelined-ingest
+    # headline numbers).  The p99 is read from the lifetime histogram —
+    # bucketed samples cannot be windowed — so it includes warm-up
+    # pauses; counts and totals are exact window deltas.
+    all_extras: dict[str, float] = {
+        "ingest_stalls": float(ingest.stalls - ingest0[3]),
+        "ingest_stall_seconds": ingest.stall_seconds - ingest0[4],
+        "ingest_stall_max_seconds": ingest.max_stall_seconds,
+        "ingest_stall_p99_seconds": system.obs.registry.histogram(
+            "ingest.stall_seconds"
+        ).percentile(99.0),
+    }
+    if extras:
+        all_extras.update(extras)
     return TrialResult(
         spec=spec,
         hit_ratio=qstats.hit_ratio,
@@ -238,7 +272,7 @@ def _collect_result(
             else 0.0
         ),
         memory_utilization=system.memory_utilization(),
-        extras=extras if extras is not None else {},
+        extras=all_extras,
     )
 
 
@@ -264,13 +298,12 @@ def run_trial(
     _warm_up(system, stream, spec)
 
     # Measurement window: reset the query counters and timing baselines so
-    # only steady-state behaviour is reported.
+    # only steady-state behaviour is reported.  The warm-up quiesce folds
+    # any in-flight pipelined flush back in first, so the window opens
+    # with the memtable whole.
+    system.quiesce()
     system.stats.queries = QueryStats()
-    ingest0 = (
-        system.stats.ingest.indexed,
-        system.stats.ingest.insert_seconds,
-        system.stats.ingest.flush_seconds,
-    )
+    ingest0 = _ingest_baseline(system)
     book0 = system.executor.bookkeeping_seconds
     flushes0 = len(system.flush_reports())
 
@@ -282,8 +315,11 @@ def run_trial(
             system.search(queries.next_query())
             pending_queries -= 1.0
 
+    system.quiesce()
     _finish_trial_metrics(system, spec, obs)
-    return _collect_result(system, spec, ingest0, book0, flushes0)
+    result = _collect_result(system, spec, ingest0, book0, flushes0)
+    system.close()
+    return result
 
 
 def run_digestion_stress(
@@ -314,12 +350,9 @@ def run_digestion_stress(
     ):
         system.ingest_many(stream.take(_WARM_CHUNK))
         warmed += _WARM_CHUNK
+    system.quiesce()
     system.stats.queries = QueryStats()
-    ingest0 = (
-        system.stats.ingest.indexed,
-        system.stats.ingest.insert_seconds,
-        system.stats.ingest.flush_seconds,
-    )
+    ingest0 = _ingest_baseline(system)
     book0 = system.executor.bookkeeping_seconds
     flushes0 = len(system.flush_reports())
 
@@ -344,12 +377,13 @@ def run_digestion_stress(
             system.search(queries.next_query())
             issued += 1
 
+    system.quiesce()
     _finish_trial_metrics(system, spec, obs)
     # Unlike the pre-refactor code, flush_count and the freed-fraction
     # mean now cover exactly the measurement window (the old path
     # hard-coded mean_flush_freed_fraction=0.0 and counted warm-up
     # flushes), making stress results comparable with run_trial's.
-    return _collect_result(
+    result = _collect_result(
         system,
         spec,
         ingest0,
@@ -357,3 +391,5 @@ def run_digestion_stress(
         flushes0,
         extras={"queries_issued": float(issued)},
     )
+    system.close()
+    return result
