@@ -17,11 +17,12 @@ Subcommands
     event of the run (flush spans, query events, final snapshot) to a
     JSONL file — parallel workers write per-trial metric shards that are
     merged into the same file after the pool drains.
-``bench [--preset tiny] [--seed 42] [--jobs 2] [--out BENCH_PR6.json]``
+``bench [--preset tiny] [--seed 42] [--jobs 2] [--out BENCH_PR7.json] [--profile]``
     Run the performance benchmark suites (k-filled sampling, digestion
     rate, flush cost, sweep wall-clock, shard scaling, disk tier,
-    pipelined ingest stalls) and write the perf-trajectory JSON (see
-    docs/PERFORMANCE.md).
+    pipelined ingest stalls, columnar digestion) and write the
+    perf-trajectory JSON (see docs/PERFORMANCE.md); ``--profile`` also
+    writes a cProfile top-cumulative table beside the JSON.
 ``stats [--shards 4] [--disk-cache-bytes N] [--disk-elide-empty] [--pipelined]``
     Run a tiny synthetic workload and dump the instrumentation registry
     (flush phase spans, per-mode query counters, disk I/O, per-shard
@@ -99,6 +100,7 @@ def _figure_kwargs(
     disk_cache_bytes: int = 0,
     disk_elide_empty: bool = False,
     pipelined: bool = False,
+    columnar: bool = False,
 ) -> dict:
     """Keyword arguments for one figure function.
 
@@ -119,6 +121,8 @@ def _figure_kwargs(
         kwargs["disk_elide_empty"] = disk_elide_empty
     if pipelined and "pipelined" in params:
         kwargs["pipelined"] = pipelined
+    if columnar and "columnar" in params:
+        kwargs["columnar"] = columnar
     return kwargs
 
 
@@ -156,6 +160,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 disk_cache_bytes=args.disk_cache_bytes,
                 disk_elide_empty=args.disk_elide_empty,
                 pipelined=args.pipelined,
+                columnar=args.columnar,
             )
             start = time.perf_counter()
             if obs is not None:
@@ -199,6 +204,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         out=args.out,
         jobs=resolve_jobs(args.jobs),
         suites=args.suites,
+        profile=args.profile,
     )
     elapsed = time.perf_counter() - start
     for record in records:
@@ -207,6 +213,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{record.value:12.2f} {record.unit}"
         )
     print(f"[{len(records)} measurements written to {args.out} in {elapsed:.1f}s]")
+    if args.profile:
+        profile_path = Path(args.out).with_suffix(".profile.txt")
+        print(f"[cProfile top-cumulative table written to {profile_path}]")
     return 0
 
 
@@ -320,6 +329,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         disk_elide_empty=args.disk_elide_empty,
         pipelined_ingest=args.pipelined,
         flush_workers=args.flush_workers,
+        columnar=args.columnar,
+        columnar_cost=args.columnar_cost,
     )
     system = build_system(config, obs=obs)
     stream = MicroblogStream(
@@ -469,6 +480,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--columnar",
+        action="store_true",
+        help=(
+            "run the memory tier on the array-backed columnar layout "
+            "with interned key ids (answers identical to the legacy "
+            "object layout; digestion is faster)"
+        ),
+    )
+    run.add_argument(
         "--serve",
         type=int,
         default=None,
@@ -495,7 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        default="BENCH_PR6.json",
+        default="BENCH_PR7.json",
         metavar="PATH",
         help="where to write the benchmark records (JSON)",
     )
@@ -505,6 +525,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=sorted(ALL_SUITES),
         help="subset of suites to run (default: all)",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run the suites under cProfile and write the top cumulative-"
+            "time functions to <out-stem>.profile.txt (profiled timings "
+            "carry tracer overhead; use for hot-spot hunting only)"
+        ),
     )
     bench.set_defaults(fn=_cmd_bench)
 
@@ -584,6 +613,23 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "flush worker threads under --pipelined (default: one per "
             "shard; 0 = deterministic inline drain)"
+        ),
+    )
+    stats.add_argument(
+        "--columnar",
+        action="store_true",
+        help=(
+            "columnar memory tier: array-backed posting columns and "
+            "interned key ids (adds memory.columnar.* gauges)"
+        ),
+    )
+    stats.add_argument(
+        "--columnar-cost",
+        action="store_true",
+        help=(
+            "budget memory under the columnar byte layout (24-byte "
+            "postings) instead of the legacy object layout; requires "
+            "--columnar"
         ),
     )
     stats.set_defaults(fn=_cmd_stats)

@@ -59,10 +59,15 @@ class FlushCycleCache:
     # ------------------------------------------------------------------
 
     def topk_ids(self, key: Hashable, entry: "PostingList") -> frozenset[int]:
-        """The entry's top-k blog ids, memoized for the flush."""
+        """The entry's top-k blog ids, memoized for the flush.
+
+        Built by the entry itself (``topk_id_set``) so the columnar
+        layout can slice its id column directly instead of materializing
+        ``Posting`` tuples first; both layouts produce the same set.
+        """
         ids = self._topk_ids.get(key)
         if ids is None:
-            ids = frozenset(p.blog_id for p in entry.top(self._k))
+            ids = entry.topk_id_set(self._k)
             self._topk_ids[key] = ids
         return ids
 
@@ -74,7 +79,7 @@ class FlushCycleCache:
         """Set-based replacement for ``entry.contains_id(blog_id)``."""
         ids = self._member_ids.get(key)
         if ids is None:
-            ids = {p.blog_id for p in entry}
+            ids = entry.id_set()
             self._member_ids[key] = ids
         return blog_id in ids
 

@@ -32,6 +32,7 @@ from repro.model.microblog import Microblog
 from repro.model.ranking import RankingFunction
 from repro.obs import Instrumentation
 from repro.storage.disk import DiskArchive
+from repro.storage.interner import KeyInterner, get_global_interner
 from repro.storage.memory_model import MemoryModel
 from repro.storage.posting_list import MIN_SORT_KEY, Posting, SortKey
 
@@ -108,6 +109,8 @@ class MemoryEngine(ABC):
         flush_fraction: float,
         disk: DiskArchive,
         obs: Optional[Instrumentation] = None,
+        columnar: bool = False,
+        interner: Optional[KeyInterner] = None,
     ) -> None:
         if k <= 0:
             raise ConfigurationError(f"k must be positive, got {k}")
@@ -117,6 +120,15 @@ class MemoryEngine(ABC):
             raise ConfigurationError(
                 f"flush_fraction must be in (0, 1], got {flush_fraction}"
             )
+        #: Columnar memory tier: array-backed posting columns + interned
+        #: key ids on every hot dict.  Off by default; the legacy object
+        #: layout stays the reference path for differential tests.
+        self.columnar = columnar
+        self.interner: Optional[KeyInterner] = (
+            (interner if interner is not None else get_global_interner())
+            if columnar
+            else None
+        )
         self.model = model
         self.ranking = ranking
         self.attribute = attribute
@@ -196,10 +208,16 @@ class MemoryEngine(ABC):
 
     def eviction_cause(self, key: Hashable) -> Optional[EvictionRecord]:
         """The latest eviction record for ``key``, or None (also None
-        whenever attribution is off)."""
+        whenever attribution is off).  Accepts raw keys: a columnar
+        engine's ledger is keyed by interned id, so the key is translated
+        here — a never-ingested key trivially has no eviction record."""
         ledger = self.eviction_ledger
         if ledger is None:
             return None
+        if self.columnar:
+            key = self.interner.maybe(key)
+            if key is None:
+                return None
         return ledger.get(key)
 
     def run_flush(self, now: float) -> FlushReport:
@@ -224,6 +242,16 @@ class MemoryEngine(ABC):
                 trace_ctx.fields["at"] = now
         self.flush_reports.append(report)
         registry = self.obs.registry
+        if self.columnar:
+            # Refresh the columnar gauges once per flush cycle: how many
+            # keys the process-wide interner holds and the raw bytes the
+            # posting columns occupy (24 bytes per resident posting).
+            registry.gauge("memory.columnar.interner_keys").set(
+                len(self.interner)
+            )
+            registry.gauge("memory.columnar.column_bytes").set(
+                24 * self.posting_count()
+            )
         registry.counter("flush.count").inc()
         registry.counter("flush.freed_bytes").inc(report.freed_bytes)
         registry.counter("flush.records_flushed").inc(report.records_flushed)
@@ -294,6 +322,10 @@ class MemoryEngine(ABC):
     @abstractmethod
     def record_count(self) -> int:
         """Records currently resident in memory."""
+
+    def posting_count(self) -> int:
+        """Total in-memory postings; overridden where tracked in O(1)."""
+        return sum(self.frequency_snapshot().values())
 
     def set_k(self, k: int) -> None:
         """Dynamic k (Section IV-C): takes effect at the next flush."""

@@ -50,6 +50,7 @@ from repro.model.microblog import Microblog
 from repro.obs import Instrumentation
 from repro.obs.runtime import get_active
 from repro.storage.disk import DiskArchive
+from repro.storage.interner import get_global_interner
 
 __all__ = [
     "ShardRouter",
@@ -165,8 +166,13 @@ class Shard:
     ) -> None:
         self.shard_id = shard_id
         self.capacity_bytes = config.shard_capacity(shard_id)
+        model = config.effective_memory_model()
+        # Shards share one process-wide interner: routing happens on raw
+        # keys before any shard sees them, so a shared id space is safe
+        # and keeps cross-shard snapshots consistent.
+        interner = get_global_interner() if config.columnar else None
         self.disk = DiskArchive(
-            config.memory_model,
+            model,
             config.disk_cost,
             obs=obs,
             shard_id=shard_id,
@@ -174,11 +180,12 @@ class Shard:
             # is sliced the same way the memory budget is.
             cache_bytes=config.disk_cache_capacity(shard_id),
             elide_empty=config.disk_elide_empty,
+            interner=interner,
         )
         self.attribute = ShardAttributeView(attribute, router, shard_id)
         self.engine: MemoryEngine = create_engine(
             config.policy,
-            model=config.memory_model,
+            model=model,
             ranking=ranking,
             attribute=self.attribute,
             k=config.k,
@@ -186,6 +193,8 @@ class Shard:
             flush_fraction=config.flush_fraction,
             disk=self.disk,
             obs=obs,
+            columnar=config.columnar,
+            interner=interner,
         )
         #: Set by the facade when pipelined ingest is on: the rotation
         #: coordinator and the lock-taking disk adapter for this shard.
@@ -409,7 +418,7 @@ class ShardedMicroblogSystem(MicroblogSystemBase):
         def build_overlay() -> MemoryEngine:
             return create_engine(
                 config.policy,
-                model=config.memory_model,
+                model=config.effective_memory_model(),
                 ranking=self.ranking,
                 attribute=shard.attribute,
                 k=shard.engine.k,
@@ -417,6 +426,8 @@ class ShardedMicroblogSystem(MicroblogSystemBase):
                 flush_fraction=config.flush_fraction,
                 disk=shard.disk,
                 obs=self.obs,
+                columnar=config.columnar,
+                interner=shard.engine.interner,
             )
 
         shard.pipeline = PipelinedEngine(

@@ -36,6 +36,7 @@ from repro.model.microblog import Microblog
 from repro.obs import Instrumentation
 from repro.obs.runtime import get_active
 from repro.storage.disk import DiskArchive
+from repro.storage.interner import get_global_interner
 
 __all__ = ["MicroblogSystem", "MicroblogSystemBase"]
 
@@ -212,16 +213,19 @@ class MicroblogSystem(MicroblogSystemBase):
         self.obs = obs if obs is not None else (get_active() or Instrumentation())
         self.attribute = config.build_attribute()
         self.ranking = config.build_ranking()
+        model = config.effective_memory_model()
+        interner = get_global_interner() if config.columnar else None
         self.disk = DiskArchive(
-            config.memory_model,
+            model,
             config.disk_cost,
             obs=self.obs,
             cache_bytes=config.disk_cache_bytes,
             elide_empty=config.disk_elide_empty,
+            interner=interner,
         )
         self.engine: MemoryEngine = create_engine(
             config.policy,
-            model=config.memory_model,
+            model=model,
             ranking=self.ranking,
             attribute=self.attribute,
             k=config.k,
@@ -229,6 +233,8 @@ class MicroblogSystem(MicroblogSystemBase):
             flush_fraction=config.flush_fraction,
             disk=self.disk,
             obs=self.obs,
+            columnar=config.columnar,
+            interner=interner,
         )
         #: Rotation coordinator when ``config.pipelined_ingest`` is on;
         #: None keeps the synchronous inline-flush path byte-for-byte.
@@ -294,7 +300,7 @@ class MicroblogSystem(MicroblogSystemBase):
         config = self.config
         return create_engine(
             config.policy,
-            model=config.memory_model,
+            model=config.effective_memory_model(),
             ranking=self.ranking,
             attribute=self.attribute,
             k=self.engine.k,
@@ -302,6 +308,8 @@ class MicroblogSystem(MicroblogSystemBase):
             flush_fraction=config.flush_fraction,
             disk=self.disk,
             obs=self.obs,
+            columnar=config.columnar,
+            interner=self.engine.interner,
         )
 
     def _flush(self) -> FlushReport:

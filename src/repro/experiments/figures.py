@@ -139,6 +139,7 @@ def fig1_snapshot(
     shards: int = 1,
     disk_cache_bytes: int = 0,
     disk_elide_empty: bool = False,
+    columnar: bool = False,
 ) -> FigureResult:
     """Memory-content snapshots under temporal flushing vs kFlushing.
 
@@ -157,6 +158,7 @@ def fig1_snapshot(
             shards=shards,
             disk_cache_bytes=disk_cache_bytes,
             disk_elide_empty=disk_elide_empty,
+            columnar=columnar,
         )
         system = spec.build_system()
         stream = spec.build_stream()

@@ -81,6 +81,13 @@ class TrialSpec:
     #: Worker threads for pipelined ingest (None = one per shard;
     #: 0 = deterministic inline drain, the differential tests' mode).
     flush_workers: int | None = None
+    #: Array-backed posting columns with interned key ids (False = the
+    #: legacy tuple-per-posting layout, bit-identical to the seed).
+    columnar: bool = False
+    #: Charge the memory budget at the columnar layout's per-posting cost
+    #: (requires ``columnar``; False keeps the legacy budget math so
+    #: flush cadence stays comparable across layouts).
+    columnar_cost: bool = False
 
     def build_system(self, obs: Optional[Instrumentation] = None) -> MicroblogSystemBase:
         config = SystemConfig(
@@ -97,6 +104,8 @@ class TrialSpec:
             disk_elide_empty=self.disk_elide_empty,
             pipelined_ingest=self.pipelined_ingest,
             flush_workers=self.flush_workers,
+            columnar=self.columnar,
+            columnar_cost=self.columnar_cost,
         )
         return build_system_from_config(
             config,

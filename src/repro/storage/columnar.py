@@ -1,0 +1,472 @@
+"""Columnar posting storage: array-backed parallel columns per entry.
+
+This is the compact counterpart of :class:`~repro.storage.posting_list.
+PostingList`: instead of a Python list of ``Posting`` NamedTuples, each
+entry keeps three parallel primitive columns —
+
+::
+
+    _scores : array('d')   ranking score
+    _times  : array('d')   arrival timestamp
+    _ids    : array('q')   microblog id
+
+— in the same ascending sort-key order (best posting at the end), so the
+whole public surface of ``PostingList`` is preserved posting-for-posting
+while the per-posting cost drops from a ~64-byte tuple plus a list slot
+to 24 bytes of raw column data.
+
+Batch eviction (Phase 1 trims, Phase 2/3 drains) moves *column slices*
+into a :class:`PostingBlock` — an arena-style batch of the same three
+columns — instead of materializing one tuple per evicted posting.  The
+flush buffer carries blocks through to the disk commit and only then
+expands them, so the eviction hot path never touches per-object storage.
+
+``Posting`` tuples still exist at the boundaries: query results, views,
+and ``remove_id`` materialize them on demand, which keeps the executor
+and every test oblivious to the layout underneath.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Hashable, Iterator, Optional
+
+from repro.storage.posting_list import MIN_SORT_KEY, Posting, SortKey
+
+__all__ = ["ColumnarBestFirstView", "ColumnarPostingList", "PostingBlock"]
+
+#: Modelled bytes of one posting held columnar: 8 (id) + 8 (score) +
+#: 8 (timestamp).  ``MemoryModel.columnar_layout()`` uses this.
+COLUMN_BYTES_PER_POSTING = 24
+
+
+def _new_scores() -> array:
+    return array("d")
+
+
+def _new_times() -> array:
+    return array("d")
+
+
+def _new_ids() -> array:
+    return array("q")
+
+
+class PostingBlock:
+    """An arena batch of evicted postings: three aligned column slices.
+
+    Produced by the trim/drain operations of :class:`ColumnarPostingList`
+    and consumed by the flush buffer.  Order inside a block is ascending
+    by sort key (the storage order of the source entry), so
+    :meth:`best_sort_key` is the last element and :meth:`postings`
+    expands in exactly the order the legacy list-based path produced.
+    """
+
+    __slots__ = ("scores", "times", "ids")
+
+    def __init__(self, scores: array, times: array, ids: array) -> None:
+        self.scores = scores
+        self.times = times
+        self.ids = ids
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PostingBlock(n={len(self.ids)})"
+
+    def best_sort_key(self) -> SortKey:
+        """Sort key of the best posting in the block (ascending ⇒ last)."""
+        return (self.scores[-1], self.times[-1], self.ids[-1])
+
+    def postings(self) -> list[Posting]:
+        """Expand to ``Posting`` tuples, ascending (legacy drain order)."""
+        return list(map(Posting, self.scores, self.times, self.ids))
+
+
+class ColumnarBestFirstView:
+    """Best-rank-first sequence view over an entry's live columns.
+
+    The columnar twin of :class:`~repro.storage.posting_list.
+    BestFirstView`: aliases the entry's arrays and materializes
+    ``Posting`` tuples only for the elements actually read.  Step-1
+    slices cut one reversed sub-slice per column — no intermediate
+    full-copy, no per-element indexing loop.
+    """
+
+    __slots__ = ("_scores", "_times", "_ids")
+
+    def __init__(self, scores: array, times: array, ids: array) -> None:
+        self._scores = scores
+        self._times = times
+        self._ids = ids
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self) -> Iterator[Posting]:
+        return map(
+            Posting,
+            reversed(self._scores),
+            reversed(self._times),
+            reversed(self._ids),
+        )
+
+    def __getitem__(self, index):
+        n = len(self._ids)
+        if isinstance(index, slice):
+            start, stop, step = index.indices(n)
+            if step == 1:
+                if start >= stop:
+                    return ()
+                lo, hi = n - stop, n - start
+                return tuple(
+                    map(
+                        Posting,
+                        self._scores[lo:hi][::-1],
+                        self._times[lo:hi][::-1],
+                        self._ids[lo:hi][::-1],
+                    )
+                )
+            return tuple(
+                Posting(
+                    self._scores[n - 1 - i],
+                    self._times[n - 1 - i],
+                    self._ids[n - 1 - i],
+                )
+                for i in range(start, stop, step)
+            )
+        if index < -n or index >= n:
+            raise IndexError(index)
+        i = n - 1 - index if index >= 0 else -1 - index - n
+        return Posting(self._scores[i], self._times[i], self._ids[i])
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (tuple, list)) or hasattr(other, "__len__"):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnarBestFirstView(n={len(self._ids)})"
+
+
+class ColumnarPostingList:
+    """Array-backed posting list, API-compatible with ``PostingList``.
+
+    Storage order is identical (ascending sort key, best at the end) and
+    every operation is posting-for-posting equivalent to the legacy
+    list-of-tuples entry — proven by the property tests in
+    ``tests/test_columnar.py``.  The differences are purely mechanical:
+
+    * inserts append/insort primitive values, allocating zero tuples on
+      the fast path;
+    * trims and drains return :class:`PostingBlock` column slices rather
+      than ``list[Posting]``;
+    * the MK-variant conditional trims take an id-predicate
+      (``keep_id(blog_id)``) instead of a posting-predicate, because the
+      caller only ever inspected ``p.blog_id``.
+    """
+
+    __slots__ = (
+        "key",
+        "_scores",
+        "_times",
+        "_ids",
+        "last_arrival",
+        "last_query",
+        "floor",
+    )
+
+    def __init__(
+        self,
+        key: Hashable,
+        created_at: float,
+        floor: SortKey = MIN_SORT_KEY,
+    ) -> None:
+        self.key = key
+        self._scores = _new_scores()
+        self._times = _new_times()
+        self._ids = _new_ids()
+        self.last_arrival: float = created_at
+        self.last_query: float = created_at
+        self.floor: SortKey = floor
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self) -> Iterator[Posting]:
+        return map(Posting, self._scores, self._times, self._ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnarPostingList(key={self.key!r}, n={len(self._ids)})"
+
+    @property
+    def is_complete(self) -> bool:
+        return self.floor == MIN_SORT_KEY
+
+    def top(self, k: int) -> list[Posting]:
+        """Up to ``k`` best postings, best first — one reversed slice per
+        column, zero intermediate copies."""
+        if k <= 0:
+            return []
+        return list(
+            map(
+                Posting,
+                self._scores[-1 : -k - 1 : -1],
+                self._times[-1 : -k - 1 : -1],
+                self._ids[-1 : -k - 1 : -1],
+            )
+        )
+
+    def iter_best_first(self) -> Iterator[Posting]:
+        return map(
+            Posting,
+            reversed(self._scores),
+            reversed(self._times),
+            reversed(self._ids),
+        )
+
+    def best_first(self) -> ColumnarBestFirstView:
+        return ColumnarBestFirstView(self._scores, self._times, self._ids)
+
+    def is_k_filled(self, k: int) -> bool:
+        n = len(self._ids)
+        return (
+            0 < k <= n
+            and (self._scores[-k], self._times[-k], self._ids[-k]) > self.floor
+        )
+
+    def best(self) -> Optional[Posting]:
+        if not self._ids:
+            return None
+        return Posting(self._scores[-1], self._times[-1], self._ids[-1])
+
+    def worst(self) -> Optional[Posting]:
+        if not self._ids:
+            return None
+        return Posting(self._scores[0], self._times[0], self._ids[0])
+
+    def best_sort_key(self) -> Optional[SortKey]:
+        if not self._ids:
+            return None
+        return (self._scores[-1], self._times[-1], self._ids[-1])
+
+    def contains_id(self, blog_id: int) -> bool:
+        return blog_id in self._ids
+
+    def contains_in_top(self, blog_id: int, k: int) -> bool:
+        if k <= 0:
+            return False
+        return blog_id in self._ids[-k:]
+
+    def topk_id_set(self, k: int) -> frozenset[int]:
+        """Ids of the top-k postings (flush-cycle memo building block)."""
+        if k <= 0:
+            return frozenset()
+        return frozenset(self._ids[-k:])
+
+    def id_set(self) -> set[int]:
+        """All member ids (flush-cycle memo building block)."""
+        return set(self._ids)
+
+    def provable_top(self, k: int) -> Optional[list[Posting]]:
+        n = len(self._ids)
+        if n < k:
+            return None
+        if (self._scores[-k], self._times[-k], self._ids[-k]) <= self.floor:
+            return None
+        return self.top(k)
+
+    def count_above_floor(self) -> int:
+        if self.floor == MIN_SORT_KEY:
+            return len(self._ids)
+        return len(self._ids) - self._bisect_key(self.floor)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def _bisect_key(self, key: SortKey) -> int:
+        """Rightmost insertion point for ``key`` (insort-right order).
+
+        The score column alone narrows the window with two C-speed
+        bisects; the Python refinement loop only runs over score ties.
+        """
+        scores = self._scores
+        score = key[0]
+        lo = bisect_left(scores, score)
+        hi = bisect_right(scores, score, lo)
+        if lo == hi:
+            return lo
+        times, ids = self._times, self._ids
+        tie = (key[1], key[2])
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if (times[mid], ids[mid]) <= tie:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def insert_scalar(self, score: float, timestamp: float, blog_id: int) -> None:
+        """Insert one posting from scalars — the zero-allocation path.
+
+        Semantics match ``PostingList.insert(Posting(...))`` exactly: an
+        append when the new posting ranks best-so-far (the common case
+        under temporal ranking), otherwise an insort at the equivalent
+        position.
+        """
+        scores = self._scores
+        times = self._times
+        ids = self._ids
+        if scores:
+            last = scores[-1]
+            if score < last or (
+                score == last and (timestamp, blog_id) < (times[-1], ids[-1])
+            ):
+                at = self._bisect_key((score, timestamp, blog_id))
+                scores.insert(at, score)
+                times.insert(at, timestamp)
+                ids.insert(at, blog_id)
+                if timestamp > self.last_arrival:
+                    self.last_arrival = timestamp
+                return
+        scores.append(score)
+        times.append(timestamp)
+        ids.append(blog_id)
+        if timestamp > self.last_arrival:
+            self.last_arrival = timestamp
+
+    def insert(self, posting: Posting) -> None:
+        """``PostingList``-compatible insert (absorb/reconcile paths)."""
+        self.insert_scalar(posting.score, posting.timestamp, posting.blog_id)
+
+    def touch_query(self, now: float) -> None:
+        if now > self.last_query:
+            self.last_query = now
+
+    def _raise_floor(self, key: SortKey) -> None:
+        if key > self.floor:
+            self.floor = key
+
+    def _cut_prefix(self, count: int) -> PostingBlock:
+        """Slice the worst-ranked ``count`` postings off into a block."""
+        scores, times, ids = self._scores, self._times, self._ids
+        block = PostingBlock(scores[:count], times[:count], ids[:count])
+        del scores[:count]
+        del times[:count]
+        del ids[:count]
+        return block
+
+    def trim_beyond(self, k: int) -> PostingBlock:
+        """Phase 1: slice everything beyond the top-k into a block."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        excess = len(self._ids) - k
+        if excess <= 0:
+            return PostingBlock(_new_scores(), _new_times(), _new_ids())
+        block = self._cut_prefix(excess)
+        self._raise_floor(block.best_sort_key())
+        return block
+
+    def trim_if_ids(self, k: int, keep_id) -> PostingBlock:
+        """MK Phase 1: trim beyond-top-k postings unless ``keep_id(id)``.
+
+        Equivalent to ``PostingList.trim_if`` — the legacy predicate only
+        ever inspected ``posting.blog_id``, and ids are unique within an
+        entry, so removing the non-kept *candidates in place* removes
+        exactly the postings the legacy id-set filter removed.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        scores, times, ids = self._scores, self._times, self._ids
+        excess = len(ids) - k
+        if excess <= 0:
+            return PostingBlock(_new_scores(), _new_times(), _new_ids())
+        rem_s, rem_t, rem_i = _new_scores(), _new_times(), _new_ids()
+        keep_s, keep_t, keep_i = _new_scores(), _new_times(), _new_ids()
+        for i in range(excess):
+            if keep_id(ids[i]):
+                keep_s.append(scores[i])
+                keep_t.append(times[i])
+                keep_i.append(ids[i])
+            else:
+                rem_s.append(scores[i])
+                rem_t.append(times[i])
+                rem_i.append(ids[i])
+        if not rem_i:
+            return PostingBlock(rem_s, rem_t, rem_i)
+        scores[:excess] = keep_s
+        times[:excess] = keep_t
+        ids[:excess] = keep_i
+        block = PostingBlock(rem_s, rem_t, rem_i)
+        self._raise_floor(block.best_sort_key())
+        return block
+
+    def remove_id(self, blog_id: int) -> Optional[Posting]:
+        """Remove one posting by id (LRU per-item eviction)."""
+        try:
+            i = self._ids.index(blog_id)
+        except ValueError:
+            return None
+        posting = Posting(self._scores.pop(i), self._times.pop(i), blog_id)
+        del self._ids[i]
+        self._raise_floor(posting.sort_key)
+        return posting
+
+    def drain(self) -> PostingBlock:
+        """Phase 2/3 wholesale flush: hand the live columns over."""
+        block = PostingBlock(self._scores, self._times, self._ids)
+        self._scores = _new_scores()
+        self._times = _new_times()
+        self._ids = _new_ids()
+        if block.ids:
+            self._raise_floor(block.best_sort_key())
+        return block
+
+    def drain_if_ids(self, keep_id) -> PostingBlock:
+        """MK Phase 2: drain all postings except ``keep_id(id)`` ones."""
+        scores, times, ids = self._scores, self._times, self._ids
+        rem_s, rem_t, rem_i = _new_scores(), _new_times(), _new_ids()
+        keep_s, keep_t, keep_i = _new_scores(), _new_times(), _new_ids()
+        for i, bid in enumerate(ids):
+            if keep_id(bid):
+                keep_s.append(scores[i])
+                keep_t.append(times[i])
+                keep_i.append(bid)
+            else:
+                rem_s.append(scores[i])
+                rem_t.append(times[i])
+                rem_i.append(bid)
+        if not rem_i:
+            return PostingBlock(rem_s, rem_t, rem_i)
+        self._scores, self._times, self._ids = keep_s, keep_t, keep_i
+        block = PostingBlock(rem_s, rem_t, rem_i)
+        self._raise_floor(block.best_sort_key())
+        return block
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    def check_columns(self) -> None:
+        """Assert column alignment and ascending sort order."""
+        n = len(self._ids)
+        assert len(self._scores) == n and len(self._times) == n, (
+            f"column length drift for {self.key!r}: "
+            f"scores={len(self._scores)} times={len(self._times)} ids={n}"
+        )
+        prev: Optional[SortKey] = None
+        for i in range(n):
+            key = (self._scores[i], self._times[i], self._ids[i])
+            assert prev is None or key >= prev, (
+                f"sort-order violation for {self.key!r} at column row {i}"
+            )
+            prev = key

@@ -39,7 +39,9 @@ from typing import Hashable, Iterable, Optional, Sequence, Union
 
 from repro.model.microblog import Microblog
 from repro.obs import Instrumentation
+from repro.storage.columnar import PostingBlock
 from repro.storage.disk_cache import DiskReadCache
+from repro.storage.interner import KeyInterner
 from repro.storage.memory_model import MemoryModel
 from repro.storage.posting_list import Posting
 from repro.storage.topk import MergedRunsView
@@ -108,14 +110,54 @@ class _PostingRuns:
     def __len__(self) -> int:
         return len(self.ids)
 
-    def append_batch(self, postings: Sequence[Posting]) -> int:
+    def append_batch(
+        self, postings: Union[Sequence[Posting], PostingBlock]
+    ) -> int:
         """Append one flush batch; returns the count of fresh postings.
 
         Postings whose blog id is already indexed under this key are
         dropped (idempotent re-flush).  The batch lands as one new run —
         or extends the newest run in place when it ranks entirely above
         it — so the per-batch cost is O(batch), not O(list).
+
+        A columnar :class:`PostingBlock` with no id collisions is stored
+        *as the run itself* — three set operations, zero tuples — and
+        only expanded to ``Posting`` tuples when this key is first read
+        (or when a collision forces the per-posting dedup path).  Blocks
+        come off ascending posting lists, so they are sorted by
+        construction.
         """
+        if type(postings) is PostingBlock:
+            block_ids = postings.ids
+            ids = self.ids
+            if ids.isdisjoint(block_ids):
+                ids.update(block_ids)
+                runs = self.runs
+                if runs:
+                    tail = runs[-1]
+                    worst = (
+                        postings.scores[0],
+                        postings.times[0],
+                        block_ids[0],
+                    )
+                    if type(tail) is PostingBlock:
+                        if worst > (
+                            tail.scores[-1],
+                            tail.times[-1],
+                            tail.ids[-1],
+                        ):
+                            tail.scores.extend(postings.scores)
+                            tail.times.extend(postings.times)
+                            tail.ids.extend(block_ids)
+                            return len(block_ids)
+                    elif worst > tail[-1]:
+                        tail.extend(postings.postings())
+                        return len(block_ids)
+                runs.append(postings)
+                return len(block_ids)
+            # Id collision with an earlier flush: fall back to the
+            # per-posting dedup path on the expanded block.
+            postings = postings.postings()
         ids = self.ids
         fresh = []
         for p in postings:
@@ -133,11 +175,29 @@ class _PostingRuns:
                 fresh.sort()
                 break
         runs = self.runs
-        if runs and fresh[0] > runs[-1][-1]:
-            runs[-1].extend(fresh)
-        else:
-            runs.append(fresh)
+        if runs:
+            tail = runs[-1]
+            if type(tail) is PostingBlock:
+                # Mixed case (loose postings after a block run): expand
+                # the tail once; later block appends extend it as a list.
+                tail = runs[-1] = tail.postings()
+            if fresh[0] > tail[-1]:
+                tail.extend(fresh)
+                return len(fresh)
+        runs.append(fresh)
         return len(fresh)
+
+    def _materialized(self) -> list[list[Posting]]:
+        """Expand any block runs to ``Posting`` lists, in place.
+
+        Read paths call this; a key that is only ever written keeps its
+        runs as raw column blocks for its whole lifetime.
+        """
+        runs = self.runs
+        for i, run in enumerate(runs):
+            if type(run) is PostingBlock:
+                runs[i] = run.postings()
+        return runs
 
     def compact(self, target: int) -> int:
         """Merge the smallest runs until at most ``target`` remain.
@@ -150,6 +210,7 @@ class _PostingRuns:
         runs = self.runs
         if len(runs) <= target:
             return 0
+        runs = self._materialized()
         runs.sort(key=len, reverse=True)
         victims = runs[max(1, target) - 1 :]
         del runs[max(1, target) - 1 :]
@@ -158,7 +219,7 @@ class _PostingRuns:
 
     def top(self, limit: int) -> list[Posting]:
         """Best ``limit`` postings, best rank first, reading run tails."""
-        runs = self.runs
+        runs = self._materialized()
         if len(runs) == 1:
             run = runs[0]
             # C-speed tail slice: the last `limit` postings, reversed.
@@ -169,7 +230,7 @@ class _PostingRuns:
 
     def best_first_view(self) -> MergedRunsView:
         """Zero-copy best-first view over all runs (unbounded lookup)."""
-        return MergedRunsView(self.runs)
+        return MergedRunsView(self._materialized())
 
 
 class DiskArchive:
@@ -203,11 +264,17 @@ class DiskArchive:
         elide_empty: bool = False,
         use_runs: Optional[bool] = None,
         max_runs_per_key: int = 8,
+        interner: Optional[KeyInterner] = None,
     ) -> None:
         self._model = model
         self._cost = cost_model or DiskCostModel()
         self._records: dict[int, Microblog] = {}
         self._use_runs = type(self).use_runs if use_runs is None else use_runs
+        #: When set (columnar systems), ``_index`` is keyed by interned id
+        #: and every public method translates at its boundary: writes
+        #: intern, reads probe without growing the table.  Keys on the
+        #: wire (commit batches, lookups) stay raw either way.
+        self._interner = interner
         #: key -> per-key postings.  Runs layout: a ``_PostingRuns``.
         #: Flat layout: a plain ascending ``list[Posting]`` (best at the
         #: end), the same layout as the in-memory posting lists.
@@ -237,6 +304,19 @@ class DiskArchive:
         if self._shard_prefix is not None:
             registry.counter(self._shard_prefix + name).inc(amount)
 
+    def _probe(self, key: Hashable) -> Hashable:
+        """Read-side key translation (no-op without an interner).
+
+        A key the interner has never seen maps to ``-1`` — a valid dict
+        probe that can never collide with a real id (ids are dense and
+        non-negative), so the read path behaves exactly as for any other
+        absent key without growing the interner.
+        """
+        if self._interner is None:
+            return key
+        kid = self._interner.maybe(key)
+        return -1 if kid is None else kid
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -253,12 +333,12 @@ class DiskArchive:
         return blog_id in self._records
 
     def posting_count(self, key: Hashable) -> int:
-        postings = self._index.get(key)
+        postings = self._index.get(self._probe(key))
         return 0 if postings is None else len(postings)
 
     def run_count(self, key: Hashable) -> int:
         """Number of stored runs for ``key`` (1 for the flat layout)."""
-        entry = self._index.get(key)
+        entry = self._index.get(self._probe(key))
         if entry is None:
             return 0
         if isinstance(entry, _PostingRuns):
@@ -272,7 +352,9 @@ class DiskArchive:
     def commit_flush(
         self,
         records: Iterable[Microblog],
-        postings_by_key: dict[Hashable, list[Posting]],
+        postings_by_key: dict[Hashable, Union[list[Posting], PostingBlock]],
+        *,
+        keys_interned: bool = False,
     ) -> int:
         """Persist one flush batch; returns modelled bytes written.
 
@@ -280,6 +362,13 @@ class DiskArchive:
         and re-flushed later (e.g. alongside its record body) is written
         once — re-commits neither inflate ``posting_count`` nor widen the
         merge inputs of later lookups.
+
+        Columnar fast path: a flush buffer that shares this archive's
+        interner passes ``keys_interned=True`` with the keys already as
+        dense ids (skipping the unintern/re-intern round trip) and may
+        pass whole :class:`PostingBlock` column slices as values — the
+        runs layout stores an uncontended block without materializing a
+        single ``Posting`` tuple.
         """
         nbytes = 0
         nrecords = 0
@@ -292,9 +381,18 @@ class DiskArchive:
                 nbytes += self._model.record_bytes(record)
                 nrecords += 1
         npostings = 0
+        intern = None if self._interner is None else self._interner.intern
+        if keys_interned:
+            if self._interner is None:
+                raise ValueError(
+                    "keys_interned=True requires an interned archive"
+                )
+            intern = None
         for key, postings in postings_by_key.items():
             if not postings:
                 continue
+            if intern is not None:
+                key = intern(key)
             fresh = (
                 self._commit_key_runs(key, postings)
                 if self._use_runs
@@ -333,8 +431,10 @@ class DiskArchive:
             self._count("compactions")
         return fresh
 
-    def _commit_key_flat(self, key: Hashable, postings: list[Posting]) -> int:
+    def _commit_key_flat(self, key: Hashable, postings) -> int:
         """Flat layout: per-posting append-or-insort (pre-PR-4 path)."""
+        if type(postings) is PostingBlock:
+            postings = postings.postings()
         target = self._index.get(key)
         if target is None:
             target = self._index[key] = []
@@ -366,7 +466,7 @@ class DiskArchive:
         ``disk.lookups_elided``.  Always ``False`` with the gate off, so
         default behaviour (every miss pays the lookup) is unchanged.
         """
-        if not self.elide_empty or key in self._index:
+        if not self.elide_empty or self._probe(key) in self._index:
             return False
         self.stats.lookups_elided += 1
         self._count("lookups_elided")
@@ -387,12 +487,13 @@ class DiskArchive:
         becomes a ``disk.lookup`` child span recording cache outcome,
         runs merged, and postings returned.
         """
+        index_key = self._probe(key)
         if self.obs.current_trace is None:
-            return self._lookup(key, limit, None)
+            return self._lookup(index_key, limit, None)
         with self.obs.trace_span(
             "disk.lookup", key=str(key), shard=self.shard_id
         ) as extra:
-            result = self._lookup(key, limit, extra)
+            result = self._lookup(index_key, limit, extra)
             extra["postings"] = len(result)
             extra["runs"] = self.run_count(key)
             return result

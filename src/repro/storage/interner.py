@@ -1,0 +1,120 @@
+"""Dense interning of index keys (string ⇄ int id).
+
+The columnar memory tier keys every hot dict — the inverted index's
+entries, the k-filled set, flush-cycle memos, the eviction ledger, and
+the disk archive's index — by a small dense integer instead of the raw
+key (usually a keyword string).  Hashing a small int is several times
+cheaper than hashing a string, equality checks are pointer-free, and the
+dense id space doubles as the natural row id for future snapshot /
+serialization work.
+
+Interned ids are process-wide and never recycled: a key observed once
+keeps its id for the lifetime of the interner, so ids are stable across
+memtable rotations, shard handoffs, and flush cycles.  Translation back
+to the raw key happens only at API/snapshot boundaries (query results,
+``frequency_snapshot``, traces).
+
+Two lookup flavours matter on the hot paths:
+
+* :meth:`KeyInterner.intern` — ingest-side, *growing*: assigns the next
+  dense id on first sight.
+* :meth:`KeyInterner.maybe` — query-side, *non-growing*: returns None
+  for a never-ingested key, so probe-heavy query workloads do not bloat
+  the table with one id per unseen search term.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Optional
+
+__all__ = ["KeyInterner", "get_global_interner", "reset_global_interner"]
+
+
+class KeyInterner:
+    """Bijective string ⇄ dense-int mapping with O(1) lookups both ways."""
+
+    __slots__ = ("_ids", "_keys")
+
+    def __init__(self) -> None:
+        self._ids: dict[Hashable, int] = {}
+        self._keys: list[Hashable] = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._ids
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KeyInterner(n={len(self._keys)})"
+
+    def intern(self, key: Hashable) -> int:
+        """Return the dense id for ``key``, assigning one on first sight."""
+        kid = self._ids.get(key)
+        if kid is None:
+            kid = len(self._keys)
+            self._ids[key] = kid
+            self._keys.append(key)
+        return kid
+
+    def maybe(self, key: Hashable) -> Optional[int]:
+        """Return the id for ``key`` or None — never grows the table.
+
+        Query paths use this so a probe for a never-ingested key does not
+        permanently allocate an id.
+        """
+        return self._ids.get(key)
+
+    def unintern(self, kid: int) -> Hashable:
+        """Translate a dense id back to its raw key."""
+        return self._keys[kid]
+
+    def intern_many(self, keys: Iterable[Hashable]) -> list[int]:
+        """Batch :meth:`intern` with the lookup loop inlined (hot path)."""
+        ids = self._ids
+        ids_get = ids.get
+        table = self._keys
+        out = []
+        append = out.append
+        for key in keys:
+            kid = ids_get(key)
+            if kid is None:
+                kid = len(table)
+                ids[key] = kid
+                table.append(key)
+            append(kid)
+        return out
+
+    def keys(self) -> Iterator[Hashable]:
+        """Iterate raw keys in id order (id ``i`` is the i-th yielded)."""
+        return iter(self._keys)
+
+    def check_integrity(self) -> None:
+        """Assert the two directions agree (tests / debug builds)."""
+        assert len(self._ids) == len(self._keys), (
+            f"interner drift: {len(self._ids)} ids != {len(self._keys)} keys"
+        )
+        for kid, key in enumerate(self._keys):
+            assert self._ids.get(key) == kid, (
+                f"interner round-trip broken for {key!r}: "
+                f"{self._ids.get(key)} != {kid}"
+            )
+
+
+#: Process-wide interner shared by every columnar system in this process.
+#: Ids never leak into results or accounting, so sharing across systems
+#: (and across trials in one process) is safe and keeps sharded overlays
+#: and memtable rotations id-stable for free.
+_GLOBAL: KeyInterner = KeyInterner()
+
+
+def get_global_interner() -> KeyInterner:
+    """The process-wide interner used when no explicit one is passed."""
+    return _GLOBAL
+
+
+def reset_global_interner() -> KeyInterner:
+    """Swap in a fresh process-wide interner (tests only) and return it."""
+    global _GLOBAL
+    _GLOBAL = KeyInterner()
+    return _GLOBAL

@@ -70,8 +70,17 @@ class BestFirstView:
     def __getitem__(self, index):
         n = len(self._postings)
         if isinstance(index, slice):
+            start, stop, step = index.indices(n)
+            if step == 1:
+                # One reversed extended slice of the underlying list —
+                # no per-element indexing loop, no intermediate copy.
+                if start >= stop:
+                    return ()
+                return tuple(self._postings[n - 1 - start : n - 1 - stop : -1]
+                             if n - 1 - stop >= 0
+                             else self._postings[n - 1 - start :: -1])
             return tuple(
-                self._postings[n - 1 - i] for i in range(*index.indices(n))
+                self._postings[n - 1 - i] for i in range(start, stop, step)
             )
         if index < -n or index >= n:
             raise IndexError(index)
@@ -138,10 +147,14 @@ class PostingList:
         return self.floor == MIN_SORT_KEY
 
     def top(self, k: int) -> list[Posting]:
-        """Return up to ``k`` best-ranked postings, best first."""
+        """Return up to ``k`` best-ranked postings, best first.
+
+        One reversed extended slice — the former ``[-k:][::-1]`` spelled
+        without the intermediate forward copy (query hot path).
+        """
         if k <= 0:
             return []
-        return self._postings[-k:][::-1]
+        return self._postings[-1 : -k - 1 : -1]
 
     def iter_best_first(self) -> Iterator[Posting]:
         """Iterate postings best-rank-first without copying the entry.
@@ -188,6 +201,16 @@ class PostingList:
         if k <= 0:
             return False
         return any(p.blog_id == blog_id for p in self._postings[-k:])
+
+    def topk_id_set(self, k: int) -> frozenset[int]:
+        """Ids of the top-k postings (flush-cycle memo building block)."""
+        if k <= 0:
+            return frozenset()
+        return frozenset(p.blog_id for p in self._postings[-k:])
+
+    def id_set(self) -> set[int]:
+        """All member ids (flush-cycle memo building block)."""
+        return {p.blog_id for p in self._postings}
 
     def provable_top(self, k: int) -> Optional[list[Posting]]:
         """Return the top-k postings iff they are *provably* the true

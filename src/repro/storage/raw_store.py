@@ -25,6 +25,11 @@ class RawDataStore:
         self._model = model
         self._records: dict[int, Microblog] = {}
         self._pcounts: dict[int, int] = {}
+        #: Modelled bytes charged per resident record, memoized at insert
+        #: time.  Removal refunds exactly what was charged, so the budget
+        #: stays balanced even if the model's parameters change mid-run
+        #: (and the refund skips re-tokenizing the record text).
+        self._costs: dict[int, int] = {}
         self._bytes = 0
 
     # ------------------------------------------------------------------
@@ -80,6 +85,7 @@ class RawDataStore:
         cost = self._model.record_bytes(record)
         self._records[record.blog_id] = record
         self._pcounts[record.blog_id] = pcount
+        self._costs[record.blog_id] = cost
         self._bytes += cost
         return cost
 
@@ -103,8 +109,37 @@ class RawDataStore:
             return None
         record = self._records.pop(blog_id)
         del self._pcounts[blog_id]
-        self._bytes -= self._model.record_bytes(record)
+        self._bytes -= self._costs.pop(blog_id)
         return record
+
+    def decref_many(self, blog_ids) -> tuple[list[Microblog], int]:
+        """Batch :meth:`decref` over an iterable of ids.
+
+        Returns the records whose reference count reached zero (in input
+        order — identical to calling :meth:`decref` per id) together with
+        the total bytes freed.  This is the arena-eviction path: one call
+        per flushed :class:`~repro.storage.columnar.PostingBlock` instead
+        of one per posting.
+        """
+        pcounts = self._pcounts
+        released: list[Microblog] = []
+        freed = 0
+        for blog_id in blog_ids:
+            try:
+                count = pcounts[blog_id]
+            except KeyError:
+                raise UnknownRecordError(blog_id) from None
+            if count <= 0:
+                raise ValueError(f"pcount underflow for blog_id={blog_id}")
+            count -= 1
+            if count > 0:
+                pcounts[blog_id] = count
+                continue
+            released.append(self._records.pop(blog_id))
+            del pcounts[blog_id]
+            freed += self._costs.pop(blog_id)
+        self._bytes -= freed
+        return released, freed
 
     def remove(self, blog_id: int) -> Microblog:
         """Forcibly remove a record regardless of its reference count.
@@ -117,12 +152,18 @@ class RawDataStore:
         except KeyError:
             raise UnknownRecordError(blog_id) from None
         del self._pcounts[blog_id]
-        self._bytes -= self._model.record_bytes(record)
+        self._bytes -= self._costs.pop(blog_id)
         return record
 
     def check_integrity(self) -> None:
-        """Assert internal invariants (used by tests and debug builds)."""
+        """Assert internal invariants (used by tests and debug builds).
+
+        The byte counter is checked against the *memoized* per-record
+        costs, not a recomputation under the current model: the charge at
+        insert time is the truth the refund must match.
+        """
         assert set(self._records) == set(self._pcounts), "record/pcount key mismatch"
+        assert set(self._records) == set(self._costs), "record/cost key mismatch"
         assert all(c > 0 for c in self._pcounts.values()), "non-positive pcount"
-        expected = sum(self._model.record_bytes(r) for r in self._records.values())
+        expected = sum(self._costs.values())
         assert self._bytes == expected, f"byte accounting drift: {self._bytes} != {expected}"

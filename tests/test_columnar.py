@@ -1,0 +1,523 @@
+"""Columnar memory tier: interner, column entries, block commits, and
+the legacy-vs-columnar differential.
+
+The columnar layout is only allowed to change *speed*, never *answers*:
+every test here pins some slice of that contract, from single-entry
+operation equivalence (property-based) up to bit-identical steady-state
+``TrialResult``s per policy.
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+from dataclasses import asdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.engine.system import MicroblogSystem
+from repro.errors import ConfigurationError
+from repro.experiments.runner import TrialSpec, run_trial
+from repro.obs import Instrumentation
+from repro.storage.columnar import (
+    COLUMN_BYTES_PER_POSTING,
+    ColumnarPostingList,
+    PostingBlock,
+)
+from repro.storage.disk import DiskArchive
+from repro.storage.interner import (
+    KeyInterner,
+    get_global_interner,
+    reset_global_interner,
+)
+from repro.storage.memory_model import MemoryModel
+from repro.storage.posting_list import Posting, PostingList
+from repro.storage.raw_store import RawDataStore
+from repro.workload.queryload import QueryLoad, QueryLoadConfig
+from repro.workload.stream import MicroblogStream, StreamConfig
+from tests.test_experiments import MICRO
+
+
+# ----------------------------------------------------------------------
+# KeyInterner
+# ----------------------------------------------------------------------
+
+
+class TestKeyInterner:
+    def test_round_trip(self):
+        interner = KeyInterner()
+        ids = [interner.intern(k) for k in ("alpha", "beta", "alpha", "gamma")]
+        assert ids == [0, 1, 0, 2]
+        assert [interner.unintern(i) for i in (0, 1, 2)] == [
+            "alpha",
+            "beta",
+            "gamma",
+        ]
+        assert len(interner) == 3
+        assert "beta" in interner and "delta" not in interner
+
+    def test_maybe_never_allocates(self):
+        interner = KeyInterner()
+        assert interner.maybe("never-seen") is None
+        assert len(interner) == 0
+        kid = interner.intern("seen")
+        assert interner.maybe("seen") == kid
+
+    def test_intern_many_matches_intern(self):
+        interner = KeyInterner()
+        keys = ["a", "b", "a", "c", "b", "d"]
+        batch = interner.intern_many(keys)
+        fresh = KeyInterner()
+        assert batch == [fresh.intern(k) for k in keys]
+        interner.check_integrity()
+
+    def test_keys_iterates_in_id_order(self):
+        interner = KeyInterner()
+        for key in ("x", "y", "z"):
+            interner.intern(key)
+        assert list(interner.keys()) == ["x", "y", "z"]
+
+    def test_global_interner_reset(self):
+        reset_global_interner()
+        first = get_global_interner()
+        first.intern("sticky")
+        assert get_global_interner() is first
+        reset_global_interner()
+        assert get_global_interner().maybe("sticky") is None
+
+
+# ----------------------------------------------------------------------
+# ColumnarPostingList vs PostingList: operation-level equivalence
+# ----------------------------------------------------------------------
+
+
+def _pair():
+    return (
+        PostingList("k", created_at=0.0),
+        ColumnarPostingList("k", created_at=0.0),
+    )
+
+
+def _assert_same_state(legacy: PostingList, columnar: ColumnarPostingList):
+    assert list(columnar) == list(legacy)
+    assert columnar.floor == legacy.floor
+    assert len(columnar) == len(legacy)
+    columnar.check_columns()
+
+
+def _assert_same_removed(block: PostingBlock, removed: list):
+    assert isinstance(block, PostingBlock)
+    assert block.postings() == list(removed)
+
+
+postings_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=50,
+).map(lambda pairs: [Posting(s, t, i) for i, (s, t) in enumerate(pairs)])
+
+# One random operation: (op-name, argument).
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.tuples(
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+        ),
+        st.tuples(st.just("trim"), st.integers(min_value=0, max_value=12)),
+        st.tuples(st.just("trim_if"), st.integers(min_value=0, max_value=12)),
+        st.tuples(st.just("drain"), st.none()),
+        st.tuples(st.just("drain_if"), st.none()),
+        st.tuples(st.just("remove"), st.integers(min_value=0, max_value=60)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops_strategy)
+def test_columnar_equivalent_under_random_interleavings(ops):
+    """The tentpole contract: every mutation sequence leaves the two
+    layouts with identical postings, floors, and removed batches."""
+    legacy, columnar = _pair()
+    next_id = 0
+    for op, arg in ops:
+        if op == "insert":
+            score, ts = arg
+            posting = Posting(score, ts, next_id)
+            next_id += 1
+            legacy.insert(posting)
+            columnar.insert_scalar(score, ts, posting.blog_id)
+        elif op == "trim":
+            _assert_same_removed(
+                columnar.trim_beyond(arg), legacy.trim_beyond(arg)
+            )
+        elif op == "trim_if":
+            # Spare even ids: exercises the id-predicate MK trim.
+            keep = lambda bid: bid % 2 == 0
+            _assert_same_removed(
+                columnar.trim_if_ids(arg, keep_id=keep),
+                legacy.trim_if(arg, keep=lambda p: keep(p.blog_id)),
+            )
+        elif op == "drain":
+            _assert_same_removed(columnar.drain(), legacy.drain())
+        elif op == "drain_if":
+            keep = lambda bid: bid % 3 == 0
+            _assert_same_removed(
+                columnar.drain_if_ids(keep_id=keep),
+                legacy.drain_if(keep=lambda p: keep(p.blog_id)),
+            )
+        else:  # remove
+            assert columnar.remove_id(arg) == legacy.remove_id(arg)
+        _assert_same_state(legacy, columnar)
+        assert columnar.last_arrival == legacy.last_arrival
+
+
+@settings(max_examples=40, deadline=None)
+@given(postings_strategy, st.integers(min_value=1, max_value=55))
+def test_columnar_query_surface_matches_legacy(postings, k):
+    # k >= 1 mirrors the query contract (TopKQuery rejects k <= 0).
+    """top / best_first / iteration / k-filled agree posting-for-posting."""
+    legacy, columnar = _pair()
+    for p in postings:
+        legacy.insert(p)
+        columnar.insert(p)
+    assert columnar.top(k) == legacy.top(k)
+    assert list(columnar.iter_best_first()) == list(legacy.iter_best_first())
+    assert columnar.is_k_filled(k) == legacy.is_k_filled(k)
+    assert columnar.best() == legacy.best()
+    assert columnar.worst() == legacy.worst()
+    assert columnar.provable_top(k) == legacy.provable_top(k)
+    view_c, view_l = columnar.best_first(), legacy.best_first()
+    assert len(view_c) == len(view_l)
+    assert tuple(view_c) == tuple(view_l)
+    n = len(postings)
+    # Slice paths (the satellite fix): step-1, stepped, and point access.
+    assert view_c[:k] == tuple(view_l[:k])
+    assert view_c[1:n:2] == tuple(view_l[1:n:2])
+    if n:
+        assert view_c[n - 1] == view_l[n - 1]
+        assert view_c[-1] == view_l[-1]
+        assert columnar.contains_id(postings[0].blog_id)
+        assert columnar.contains_in_top(
+            postings[0].blog_id, n
+        ) == legacy.contains_in_top(postings[0].blog_id, n)
+        assert columnar.topk_id_set(k) == legacy.topk_id_set(k)
+
+
+def test_best_first_view_slice_returns_tuple_without_full_copy():
+    columnar = ColumnarPostingList("k", created_at=0.0)
+    for i in range(10):
+        columnar.insert_scalar(float(i), float(i), i)
+    view = columnar.best_first()
+    assert view[:3] == (
+        Posting(9.0, 9.0, 9),
+        Posting(8.0, 8.0, 8),
+        Posting(7.0, 7.0, 7),
+    )
+    assert view[8:20] == (Posting(1.0, 1.0, 1), Posting(0.0, 0.0, 0))
+    assert view[3:3] == ()
+    with pytest.raises(IndexError):
+        view[10]
+
+
+def test_check_columns_catches_misalignment():
+    columnar = ColumnarPostingList("k", created_at=0.0)
+    columnar.insert_scalar(1.0, 1.0, 1)
+    columnar._ids.append(2)  # force drift
+    with pytest.raises(AssertionError):
+        columnar.check_columns()
+
+
+def test_check_columns_catches_sort_violation():
+    columnar = ColumnarPostingList("k", created_at=0.0)
+    for value in (2.0, 1.0):  # descending: violates storage order
+        columnar._scores.append(value)
+        columnar._times.append(value)
+        columnar._ids.append(int(value))
+    with pytest.raises(AssertionError):
+        columnar.check_columns()
+
+
+# ----------------------------------------------------------------------
+# Raw store byte-accounting memoization (satellite bugfix)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def stream_records():
+    stream = MicroblogStream(
+        StreamConfig(seed=11, vocabulary_size=500, with_locations=False)
+    )
+    return stream.take(64)
+
+
+def test_raw_store_releases_memoized_cost_not_recomputed(
+    stream_records, monkeypatch
+):
+    model = MemoryModel()
+    store = RawDataStore(model)
+    record = stream_records[0]
+    charged = store.add(record, pcount=2)
+    assert charged == model.record_bytes(record)
+    assert store.bytes_used == charged
+    # A mid-run change in model pricing must not skew release accounting:
+    # the store frees exactly what it charged at insert time.
+    original = MemoryModel.record_bytes
+    monkeypatch.setattr(
+        MemoryModel, "record_bytes", lambda self, r: original(self, r) + 1_000
+    )
+    assert store.decref(record.blog_id) is None
+    released = store.decref(record.blog_id)
+    assert released is record
+    assert store.bytes_used == 0
+
+
+def test_raw_store_decref_many_matches_serial_decrefs(stream_records):
+    model = MemoryModel()
+    serial, batched = RawDataStore(model), RawDataStore(model)
+    for record in stream_records:
+        serial.add(record, pcount=2)
+        batched.add(record, pcount=2)
+    ids = [r.blog_id for r in stream_records]
+    serial_released, serial_freed = [], 0
+    for _ in range(2):
+        for blog_id in ids:
+            record = serial.decref(blog_id)
+            if record is not None:
+                serial_released.append(record)
+                serial_freed += model.record_bytes(record)
+    batch_first = batched.decref_many(ids)
+    batch_second = batched.decref_many(ids)
+    assert batch_first == ([], 0)
+    assert batch_second[0] == serial_released
+    assert batch_second[1] == serial_freed
+    assert batched.bytes_used == serial.bytes_used == 0
+    serial.check_integrity()
+    batched.check_integrity()
+
+
+# ----------------------------------------------------------------------
+# Disk commits of posting blocks
+# ----------------------------------------------------------------------
+
+
+def _block(rows):
+    return PostingBlock(
+        array("d", [r[0] for r in rows]),
+        array("d", [r[1] for r in rows]),
+        array("q", [r[2] for r in rows]),
+    )
+
+
+class TestDiskBlockCommits:
+    def _archives(self):
+        interner = KeyInterner()
+        legacy = DiskArchive(MemoryModel())
+        columnar = DiskArchive(MemoryModel(), interner=interner)
+        return legacy, columnar, interner
+
+    def test_block_commit_reads_identical_to_list_commit(self):
+        legacy, columnar, interner = self._archives()
+        kid = interner.intern("tag")
+        rows = [(float(i), float(i), i) for i in range(6)]
+        legacy.commit_flush([], {"tag": [Posting(*r) for r in rows]})
+        columnar.commit_flush([], {kid: _block(rows)}, keys_interned=True)
+        assert columnar.lookup("tag", 4) == legacy.lookup("tag", 4)
+        assert list(columnar.lookup("tag")) == list(legacy.lookup("tag"))
+        assert columnar.posting_count("tag") == legacy.posting_count("tag") == 6
+
+    def test_mixed_block_and_list_batches_stay_identical(self):
+        legacy, columnar, interner = self._archives()
+        kid = interner.intern("tag")
+        first = [(float(i), float(i), i) for i in range(4)]
+        second = [(float(i), float(i), i) for i in range(10, 13)]
+        third = [(2.5, 2.5, 50)]  # overlaps the first batch's range
+        legacy.commit_flush([], {"tag": [Posting(*r) for r in first]})
+        legacy.commit_flush([], {"tag": [Posting(*r) for r in second]})
+        legacy.commit_flush([], {"tag": [Posting(*r) for r in third]})
+        columnar.commit_flush([], {kid: _block(first)}, keys_interned=True)
+        columnar.commit_flush([], {kid: _block(second)}, keys_interned=True)
+        columnar.commit_flush([], {kid: _block(third)}, keys_interned=True)
+        assert columnar.lookup("tag", 8) == legacy.lookup("tag", 8)
+        assert list(columnar.lookup("tag")) == list(legacy.lookup("tag"))
+
+    def test_duplicate_ids_in_block_fall_back_and_stay_idempotent(self):
+        legacy, columnar, interner = self._archives()
+        kid = interner.intern("tag")
+        rows = [(1.0, 1.0, 1), (2.0, 2.0, 2)]
+        for _ in range(2):
+            legacy.commit_flush([], {"tag": [Posting(*r) for r in rows]})
+            columnar.commit_flush([], {kid: _block(rows)}, keys_interned=True)
+        assert columnar.posting_count("tag") == legacy.posting_count("tag") == 2
+        assert columnar.lookup("tag", 5) == legacy.lookup("tag", 5)
+
+    def test_keys_interned_requires_interned_archive(self):
+        archive = DiskArchive(MemoryModel())
+        with pytest.raises(ValueError):
+            archive.commit_flush(
+                [], {0: _block([(1.0, 1.0, 1)])}, keys_interned=True
+            )
+
+    def test_compaction_over_block_runs_matches_legacy(self):
+        legacy, columnar, interner = self._archives()
+        kid = interner.intern("tag")
+        batches = [
+            [(float(i + 10 * b), float(i), 100 * b + i) for i in range(5)]
+            for b in range(12)  # > max_runs_per_key: forces compaction
+        ]
+        random.Random(5).shuffle(batches)
+        for rows in batches:
+            legacy.commit_flush([], {"tag": [Posting(*r) for r in rows]})
+            columnar.commit_flush([], {kid: _block(rows)}, keys_interned=True)
+        assert columnar.run_count("tag") == legacy.run_count("tag")
+        assert list(columnar.lookup("tag")) == list(legacy.lookup("tag"))
+
+
+# ----------------------------------------------------------------------
+# Engine-level: gauges, integrity, fast paths
+# ----------------------------------------------------------------------
+
+
+def _tiny_config(columnar: bool, **overrides) -> SystemConfig:
+    return SystemConfig(
+        policy=overrides.pop("policy", "kflushing"),
+        k=5,
+        memory_capacity_bytes=300_000,
+        and_scan_depth=50,
+        and_disk_limit=50,
+        columnar=columnar,
+        **overrides,
+    )
+
+
+def _drive(system, records=4_000, seed=3):
+    stream = MicroblogStream(
+        StreamConfig(seed=seed, vocabulary_size=800, with_locations=False)
+    )
+    system.ingest_many(stream.take(records))
+
+
+def test_columnar_gauges_and_integrity():
+    reset_global_interner()
+    obs = Instrumentation()
+    system = MicroblogSystem(_tiny_config(True), obs=obs)
+    _drive(system)
+    assert system.engine.flush_reports, "workload too small to flush"
+    system.check_integrity()
+    gauges = obs.registry.snapshot()["gauges"]
+    assert gauges["memory.columnar.interner_keys"] > 0
+    assert gauges["memory.columnar.column_bytes"] > 0
+    assert gauges["memory.columnar.column_bytes"] % COLUMN_BYTES_PER_POSTING == 0
+    system.close()
+
+
+@pytest.mark.parametrize("columnar", [False, True])
+def test_needs_flush_fast_path_agrees_with_property(columnar):
+    reset_global_interner()
+    system = MicroblogSystem(_tiny_config(columnar))
+    engine = system.engine
+    stream = MicroblogStream(
+        StreamConfig(seed=9, vocabulary_size=500, with_locations=False)
+    )
+    for record in stream.take(1_500):
+        system.ingest(record)
+        assert engine.needs_flush() == (
+            engine.memory_bytes >= engine.capacity_bytes
+        )
+    system.close()
+
+
+def test_columnar_cost_prices_columnar_layout():
+    config = _tiny_config(True, columnar_cost=True)
+    assert (
+        config.effective_memory_model().posting_bytes == COLUMN_BYTES_PER_POSTING
+    )
+    with pytest.raises(ConfigurationError):
+        _tiny_config(False, columnar_cost=True)
+
+
+# ----------------------------------------------------------------------
+# Randomized query-answer equality, columnar vs legacy
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", ["kflushing", "kflushing-mk", "fifo", "lru"])
+def test_query_answers_identical_columnar_vs_legacy(policy):
+    answers = {}
+    for columnar in (False, True):
+        reset_global_interner()
+        system = MicroblogSystem(_tiny_config(columnar, policy=policy))
+        stream = MicroblogStream(
+            StreamConfig(seed=21, vocabulary_size=600, with_locations=False)
+        )
+        load = QueryLoad(QueryLoadConfig(seed=22, mode="correlated"), stream)
+        collected = []
+        for i, record in enumerate(stream.take(5_000)):
+            system.ingest(record)
+            if i % 25 == 0:
+                result = system.search(load.next_query())
+                collected.append(
+                    (
+                        tuple(p.blog_id for p in result.postings),
+                        result.memory_hit,
+                        result.provably_exact,
+                    )
+                )
+        system.check_integrity()
+        system.close()
+        answers[columnar] = collected
+    assert answers[True] == answers[False]
+
+
+# ----------------------------------------------------------------------
+# Differential: bit-identical TrialResult per policy
+# ----------------------------------------------------------------------
+
+#: Wall-clock-dependent fields excluded from the bit-identical check
+#: (they measure *time*, which the layouts legitimately change).
+_WALL_CLOCK_FIELDS = ("spec", "insert_rate", "effective_digestion_rate")
+
+
+def _comparable(result):
+    payload = asdict(result)
+    for field_name in _WALL_CLOCK_FIELDS:
+        payload.pop(field_name, None)
+    payload["extras"] = {
+        key: value
+        for key, value in payload.get("extras", {}).items()
+        if "seconds" not in key and "rate" not in key
+    }
+    return payload
+
+
+DIFFERENTIAL_SPECS = [
+    pytest.param(dict(policy="fifo"), id="fifo"),
+    pytest.param(dict(policy="lru"), id="lru"),
+    pytest.param(dict(policy="kflushing"), id="kflushing"),
+    pytest.param(dict(policy="kflushing-mk"), id="kflushing-mk"),
+    pytest.param(dict(policy="kflushing", shards=4), id="kflushing-shards4"),
+    pytest.param(
+        dict(policy="kflushing", pipelined_ingest=True, flush_workers=0),
+        id="kflushing-pipelined",
+    ),
+]
+
+
+@pytest.mark.parametrize("overrides", DIFFERENTIAL_SPECS)
+def test_trial_results_bit_identical_columnar_vs_legacy(overrides):
+    results = {}
+    for columnar in (False, True):
+        reset_global_interner()
+        spec = TrialSpec(scale=MICRO, seed=13, columnar=columnar, **overrides)
+        results[columnar] = _comparable(run_trial(spec))
+    assert results[True] == results[False]
