@@ -17,12 +17,13 @@ Subcommands
     event of the run (flush spans, query events, final snapshot) to a
     JSONL file — parallel workers write per-trial metric shards that are
     merged into the same file after the pool drains.
-``bench [--preset tiny] [--seed 42] [--jobs 2] [--out BENCH_PR7.json] [--profile]``
+``bench [--preset tiny] [--seed 42] [--jobs 2] [--out BENCH_PR9.json] [--profile]``
     Run the performance benchmark suites (k-filled sampling, digestion
     rate, flush cost, sweep wall-clock, shard scaling, disk tier,
-    pipelined ingest stalls, columnar digestion) and write the
-    perf-trajectory JSON (see docs/PERFORMANCE.md); ``--profile`` also
-    writes a cProfile top-cumulative table beside the JSON.
+    pipelined ingest stalls, columnar digestion, adaptive-vs-static
+    matrix) and write the perf-trajectory JSON (see
+    docs/PERFORMANCE.md); ``--profile`` also writes a cProfile
+    top-cumulative table beside the JSON.
 ``stats [--shards 4] [--disk-cache-bytes N] [--disk-elide-empty] [--pipelined]``
     Run a tiny synthetic workload and dump the instrumentation registry
     (flush phase spans, per-mode query counters, disk I/O, per-shard
@@ -48,6 +49,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 import time
 from pathlib import Path
@@ -101,6 +103,7 @@ def _figure_kwargs(
     disk_elide_empty: bool = False,
     pipelined: bool = False,
     columnar: bool = False,
+    adaptive: bool = False,
 ) -> dict:
     """Keyword arguments for one figure function.
 
@@ -123,6 +126,8 @@ def _figure_kwargs(
         kwargs["pipelined"] = pipelined
     if columnar and "columnar" in params:
         kwargs["columnar"] = columnar
+    if adaptive and "adaptive" in params:
+        kwargs["adaptive"] = adaptive
     return kwargs
 
 
@@ -161,6 +166,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 disk_elide_empty=args.disk_elide_empty,
                 pipelined=args.pipelined,
                 columnar=args.columnar,
+                adaptive=args.adaptive,
             )
             start = time.perf_counter()
             if obs is not None:
@@ -331,6 +337,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         flush_workers=args.flush_workers,
         columnar=args.columnar,
         columnar_cost=args.columnar_cost,
+        adaptive=args.adaptive,
     )
     system = build_system(config, obs=obs)
     stream = MicroblogStream(
@@ -350,15 +357,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     # sharded, the router's key-ownership invariant on every shard.
     system.check_integrity()
     # snapshot() refreshes the per-shard gauges into the registry, so the
-    # rendered dump includes shard.<i>.* series for a sharded run.
-    system.snapshot()
+    # rendered dump includes shard.<i>.* series for a sharded run; it also
+    # carries the per-key hotness tables when query-heat tracking is on.
+    snap = system.snapshot()
     system.close()
     obs.close()
-    rendered = (
-        to_prometheus_text(obs.registry)
-        if args.format == "prom"
-        else to_json(obs.registry)
-    )
+    if args.format == "prom":
+        rendered = to_prometheus_text(obs.registry)
+    else:
+        # Stdout must stay a single JSON document (scripts parse it), so
+        # the hot-key tables ride inside the payload, not beside it.
+        payload = json.loads(to_json(obs.registry))
+        if snap.get("hot_keys"):
+            payload["hot_keys"] = snap["hot_keys"]
+        rendered = json.dumps(payload, indent=2, sort_keys=True)
     if args.out:
         out_path = Path(args.out)
         out_path.parent.mkdir(parents=True, exist_ok=True)
@@ -489,6 +501,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--adaptive",
+        action="store_true",
+        help=(
+            "adaptive kFlushing: a deterministic feedback controller "
+            "retunes per-key retention depth, shard budget slices and "
+            "phase-escalation slack at flush boundaries (fig1 only; "
+            "off = the paper's static tuning)"
+        ),
+    )
+    run.add_argument(
         "--serve",
         type=int,
         default=None,
@@ -515,7 +537,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        default="BENCH_PR7.json",
+        default="BENCH_PR9.json",
         metavar="PATH",
         help="where to write the benchmark records (JSON)",
     )
@@ -621,6 +643,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "columnar memory tier: array-backed posting columns and "
             "interned key ids (adds memory.columnar.* gauges)"
+        ),
+    )
+    stats.add_argument(
+        "--adaptive",
+        action="store_true",
+        help=(
+            "adaptive kFlushing controller: per-key retention depth, "
+            "shard budget slices and escalation slack retuned at flush "
+            "boundaries (adds adaptive.* series and hot_keys tables)"
         ),
     )
     stats.add_argument(

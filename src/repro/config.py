@@ -12,6 +12,8 @@ from dataclasses import dataclass, field, replace
 from typing import Union
 
 from repro.core import policy_names
+from repro.core.adaptive import AdaptiveSettings
+from repro.core.eviction_ledger import EvictionLedger
 from repro.errors import ConfigurationError
 from repro.model.attributes import AttributeExtractor, attribute_from_name
 from repro.model.ranking import RankingFunction, ranking_from_name
@@ -147,6 +149,24 @@ class SystemConfig:
     #: default columnar run keeps legacy budget math — and therefore a
     #: bit-identical flush cadence — for the differential tests.
     columnar_cost: bool = False
+    #: Adaptive memory allocation (``repro.core.adaptive``): a
+    #: deterministic feedback controller retunes per-key retention
+    #: depths, phase-escalation slack, and (sharded) budget slices at
+    #: flush-cycle boundaries.  Off by default: the static paper
+    #: behaviour is the differential reference.
+    adaptive: bool = False
+    #: Flush cycles between controller retune decisions (1 = every
+    #: flush boundary; retuning is a few bounded sorts, so cheap).
+    adaptive_interval: int = 1
+    #: Cap on any per-key retention depth (None = ``16 * k``).
+    adaptive_k_max: Union[int, None] = None
+    #: Hot-set size promoted to deeper retention each retune.
+    adaptive_hot_keys: int = 32
+    #: Max fraction of the total budget one shard rebalance may move.
+    adaptive_shard_step: float = 0.05
+    #: Eviction-cause ledger capacity (keys).  Evictions recorded past
+    #: it drop the oldest entry and bump ``eviction_ledger.dropped``.
+    eviction_ledger_capacity: int = EvictionLedger.DEFAULT_CAPACITY
 
     def __post_init__(self) -> None:
         names = policy_names()
@@ -212,6 +232,29 @@ class SystemConfig:
             raise ConfigurationError(
                 "columnar_cost requires columnar=True (it prices the "
                 "columnar layout, which is not in use otherwise)"
+            )
+        if self.adaptive_interval < 1:
+            raise ConfigurationError(
+                f"adaptive_interval must be >= 1, got {self.adaptive_interval}"
+            )
+        if self.adaptive_k_max is not None and self.adaptive_k_max < self.k:
+            raise ConfigurationError(
+                f"adaptive_k_max must be None or >= k, got "
+                f"{self.adaptive_k_max} (k={self.k})"
+            )
+        if self.adaptive_hot_keys < 1:
+            raise ConfigurationError(
+                f"adaptive_hot_keys must be >= 1, got {self.adaptive_hot_keys}"
+            )
+        if not 0.0 < self.adaptive_shard_step < 1.0:
+            raise ConfigurationError(
+                f"adaptive_shard_step must be in (0, 1), got "
+                f"{self.adaptive_shard_step}"
+            )
+        if self.eviction_ledger_capacity < 1:
+            raise ConfigurationError(
+                f"eviction_ledger_capacity must be >= 1, got "
+                f"{self.eviction_ledger_capacity}"
             )
         # Fail fast on unknown names rather than at system build time.
         self.build_attribute()
@@ -279,6 +322,18 @@ class SystemConfig:
         if self.shard_capacity_bytes is not None:
             return sum(self.shard_capacity_bytes)
         return self.memory_capacity_bytes
+
+    def adaptive_settings(self) -> Union[AdaptiveSettings, None]:
+        """The controller settings engines are built with, or None when
+        ``adaptive`` is off (the legacy static path)."""
+        if not self.adaptive:
+            return None
+        return AdaptiveSettings(
+            interval=self.adaptive_interval,
+            k_max=self.adaptive_k_max,
+            hot_keys=self.adaptive_hot_keys,
+            shard_step=self.adaptive_shard_step,
+        )
 
     def effective_memory_model(self) -> MemoryModel:
         """The byte-cost model engines and archives should budget with:

@@ -88,15 +88,25 @@ class EvictionLedger:
         self.capacity = capacity
         self._records: OrderedDict = OrderedDict()
 
-    def record(self, key, cause: str, at: int, postings: int) -> None:
+    def record(self, key, cause: str, at: int, postings: int) -> int:
         """Note that ``postings`` postings of ``key`` were evicted at
         logical time ``at`` because ``cause`` fired.  The latest record
-        per key wins; recording refreshes the key's LRU position."""
+        per key wins; recording refreshes the key's LRU position.
+
+        Returns how many old records were dropped to stay within
+        capacity.  A dropped record silently degrades attribution — the
+        next miss on that key reads as ``never-resident`` — so callers
+        surface the count (``eviction_ledger.dropped``) instead of
+        letting the overflow stay invisible.
+        """
         records = self._records
         records[key] = EvictionRecord(cause, at, postings)
         records.move_to_end(key)
+        dropped = 0
         while len(records) > self.capacity:
             records.popitem(last=False)
+            dropped += 1
+        return dropped
 
     def get(self, key) -> Optional[EvictionRecord]:
         """Latest eviction record for ``key``, or None (read-only: does

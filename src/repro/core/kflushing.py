@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Optional, Sequence
 
+from repro.core.adaptive import KAllocator
 from repro.core.flush_cache import FlushCycleCache
 from repro.core.phases import FlushContext, run_phase1, run_phase2, run_phase3
 from repro.core.policy import FlushReport, LookupResult, MemoryEngine
@@ -43,6 +44,17 @@ class KFlushingEngine(MemoryEngine):
         #: Phases 1+2) in isolation.
         self.max_phase = max_phase
         self.raw = RawDataStore(self.model)
+        #: Per-key retention depths (PR 9): None when adaptive is off,
+        #: keeping every depth-aware path on its legacy global-k branch.
+        self.allocator: Optional[KAllocator] = (
+            KAllocator(self.k) if self.adaptive is not None else None
+        )
+        #: Phase-escalation slack in [0, 1): a flush that freed at least
+        #: ``target * (1 - slack)`` in a phase stops instead of
+        #: escalating.  0.0 (the default) is the paper's strict budget —
+        #: bit-identical to pre-adaptive builds; the controller raises it
+        #: when wholesale evictions dominate the miss causes.
+        self.escalation_slack: float = 0.0
         # Columnar mode keys the index (and every derived hot dict) by
         # interned id and stores each entry as primitive columns; the
         # legacy object layout stays the differential reference.
@@ -50,6 +62,7 @@ class KFlushingEngine(MemoryEngine):
             self.model,
             self.k,
             entry_factory=ColumnarPostingList if self.columnar else PostingList,
+            allocator=self.allocator,
         )
         self.buffer = FlushBuffer(self.model, self.disk, interner=self.interner)
         #: Best sort key ever evicted by whole-entry removal; seeds the
@@ -169,11 +182,21 @@ class KFlushingEngine(MemoryEngine):
         self.flush_cache = (
             FlushCycleCache(self.index, self.k) if self.use_flush_cache else None
         )
+        # Escalation threshold: with slack 0 this is exactly ``not
+        # ctx.met`` (freed < target); a positive slack accepts a
+        # near-target Phase 1 instead of escalating to wholesale
+        # evictions.  Phases still aim at the full budget internally.
+        slack = self.escalation_slack
+        threshold = (
+            ctx.target_bytes
+            if slack <= 0.0
+            else int(ctx.target_bytes * (1.0 - slack))
+        )
         try:
             run_phase1(self, ctx)
-            if not ctx.met and self.max_phase >= 2:
+            if ctx.freed_bytes < threshold and self.max_phase >= 2:
                 run_phase2(self, ctx)
-            if not ctx.met and self.max_phase >= 3:
+            if ctx.freed_bytes < threshold and self.max_phase >= 3:
                 run_phase3(self, ctx)
         finally:
             self.flush_cache = None
@@ -288,6 +311,10 @@ class KFlushingEngine(MemoryEngine):
 
     def set_k(self, k: int) -> None:
         super().set_k(k)
+        if self.allocator is not None:
+            # Rebase before the index rebuilds its overflow list so the
+            # rebuild sees the new per-key floors.
+            self.allocator.rebase(k)
         self.index.set_k(k)
 
     def check_integrity(self) -> None:

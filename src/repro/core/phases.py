@@ -127,34 +127,42 @@ def _note_phase(
 
 
 def run_phase1(engine: "KFlushingEngine", ctx: FlushContext) -> None:
-    """Regular flushing: trim overflow entries back to top-k."""
+    """Regular flushing: trim overflow entries back to top-k.
+
+    With the adaptive allocator (PR 9) the trim depth is per key —
+    ``allocator.depth_of(key) >= k`` — so hot keys keep a deeper head;
+    ``allocator is None`` (the default) keeps the hoisted global ``k``
+    on every iteration, the legacy fast path.
+    """
     freed = 0
     k = engine.k
+    allocator = engine.allocator
     with engine.obs.span(f"flush.{PHASE_REGULAR}"):
         for key in list(engine.index.overflow_keys):
             entry = engine.index.get(key)
             if entry is None:
                 engine.index.clear_overflow(key)
                 continue
+            depth = k if allocator is None else allocator.depth_of(key)
             if engine.columnar:
                 if engine.mk_enabled:
                     removed = entry.trim_if_ids(
-                        k,
+                        depth,
                         keep_id=lambda bid, _key=key: engine.in_top_elsewhere(
                             bid, _key
                         ),
                     )
                 else:
-                    removed = entry.trim_beyond(k)
+                    removed = entry.trim_beyond(depth)
             elif engine.mk_enabled:
                 removed = entry.trim_if(
-                    k,
+                    depth,
                     keep=lambda p, _key=key: engine.in_top_elsewhere(
                         p.blog_id, _key
                     ),
                 )
             else:
-                removed = entry.trim_beyond(k)
+                removed = entry.trim_beyond(depth)
             engine.index.charge_removed_postings(len(removed), key, entry=entry)
             if removed:
                 if engine.flush_cache is not None:
@@ -165,7 +173,7 @@ def run_phase1(engine: "KFlushingEngine", ctx: FlushContext) -> None:
                 else:
                     for posting in removed:
                         freed += _evict_posting(engine, ctx, key, posting)
-            if len(entry) <= k:
+            if len(entry) <= depth:
                 engine.index.clear_overflow(key)
         # The paper wipes L after Phase 1 completes.  Under MK, entries whose
         # spared stragglers keep them over-full must *stay* in L: the paper's

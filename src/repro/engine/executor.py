@@ -95,6 +95,14 @@ class QueryExecutor:
         #: Eviction-cause miss attribution (PR 5): cached so the hot
         #: path pays one boolean test when the switch is off.
         self._attribution = self._obs.attribution
+        #: Adaptive feedback hook (PR 9): engines that track per-key
+        #: heat expose ``observe_query_feedback``; bound once here so
+        #: the default path pays a single None test per query.
+        self._feedback = (
+            engine.observe_query_feedback
+            if getattr(engine, "wants_query_feedback", False)
+            else None
+        )
         #: Wall seconds spent in policy bookkeeping triggered by queries
         #: (LRU recency touches, kFlushing last-query stamps).  In a real
         #: deployment this work contends with the digestion thread, which
@@ -157,11 +165,18 @@ class QueryExecutor:
             result.simulated_latency
         )
         extra: dict = {}
-        if self._attribution and not result.memory_hit:
+        feedback = self._feedback
+        cause: Optional[str] = None
+        if not result.memory_hit and (self._attribution or feedback is not None):
+            # The adaptive controller consumes miss causes even when the
+            # attribution counters themselves are off.
             cause = self._miss_cause(query)
-            registry.counter(f"query.miss.cause.{cause}").inc()
-            registry.counter(f"query.{mode}.miss.cause.{cause}").inc()
-            extra["miss_cause"] = cause
+            if self._attribution:
+                registry.counter(f"query.miss.cause.{cause}").inc()
+                registry.counter(f"query.{mode}.miss.cause.{cause}").inc()
+                extra["miss_cause"] = cause
+        if feedback is not None:
+            feedback(query.keys, result.memory_hit, cause)
         trace_ctx = self._obs.current_trace
         if trace_ctx is not None:
             extra["trace"] = trace_ctx.trace_id

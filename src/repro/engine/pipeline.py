@@ -386,6 +386,20 @@ class PipelinedEngine:
         with self.lock:
             return self.engine.eviction_cause(key)
 
+    @property
+    def wants_query_feedback(self) -> bool:
+        return getattr(self.engine, "wants_query_feedback", False)
+
+    def observe_query_feedback(self, keys, hit, cause) -> None:
+        # Heat/controller state lives on the long-lived engine only; the
+        # short-lived overlay is absorbed back into it anyway.  The
+        # counters touched are plain int increments, safe against a
+        # concurrent worker drain under the GIL.
+        self.engine.observe_query_feedback(keys, hit, cause)
+
+    def hot_keys(self, n: int = 10) -> dict:
+        return self.engine.hot_keys(n)
+
     # ------------------------------------------------------------------
     # Metrics surface (facade-facing; active + immutable aggregates)
     # ------------------------------------------------------------------

@@ -38,6 +38,7 @@ from typing import Hashable, Iterable, Optional, Sequence
 
 from repro.config import SystemConfig
 from repro.core import create_engine
+from repro.core.adaptive import ShardBudgetBalancer
 from repro.core.policy import FlushReport, LookupResult, MemoryEngine
 from repro.engine.clock import LogicalClock
 from repro.engine.executor import QueryExecutor
@@ -195,6 +196,10 @@ class Shard:
             obs=obs,
             columnar=config.columnar,
             interner=interner,
+            ledger_capacity=config.eviction_ledger_capacity,
+            # Each shard runs its own controller over its own keys; the
+            # facade adds the cross-shard budget balancer on top.
+            adaptive=config.adaptive_settings(),
         )
         #: Set by the facade when pipelined ingest is on: the rotation
         #: coordinator and the lock-taking disk adapter for this shard.
@@ -327,6 +332,21 @@ class _RoutedEngine:
                 return record
         return None
 
+    @property
+    def wants_query_feedback(self) -> bool:
+        return any(
+            getattr(shard.store, "wants_query_feedback", False)
+            for shard in self._shards
+        )
+
+    def observe_query_feedback(self, keys, hit, cause) -> None:
+        # Scatter like note_query: each shard's heat/controller sees the
+        # keys it owns, with the query-level hit flag and miss cause.
+        for shard_id, shard_keys in self._router.group_by_shard(keys).items():
+            store = self._shards[shard_id].store
+            if getattr(store, "wants_query_feedback", False):
+                store.observe_query_feedback(shard_keys, hit, cause)
+
 
 class ShardedMicroblogSystem(MicroblogSystemBase):
     """N hash-partitioned shards behind the :class:`MicroblogSystem` API.
@@ -379,6 +399,15 @@ class ShardedMicroblogSystem(MicroblogSystemBase):
         #: All shards' flushes, in the order they ran (the facade-level
         #: mirror of each engine's own ``flush_reports``).
         self._flush_reports: list[FlushReport] = []
+        #: Cross-shard budget rebalancer (PR 9): shifts bounded budget
+        #: slices toward hot shards at flush boundaries.  None keeps the
+        #: construction-time budgets fixed, the static reference.
+        settings = config.adaptive_settings()
+        self._balancer: Optional[ShardBudgetBalancer] = (
+            ShardBudgetBalancer(settings, self.shards)
+            if settings is not None and config.shards > 1
+            else None
+        )
         self.obs.registry.gauge("shards.count").set(config.shards)
 
     # ------------------------------------------------------------------
@@ -416,6 +445,7 @@ class ShardedMicroblogSystem(MicroblogSystemBase):
         config = self.config
 
         def build_overlay() -> MemoryEngine:
+            # Overlays stay non-adaptive (see the unsharded facade).
             return create_engine(
                 config.policy,
                 model=config.effective_memory_model(),
@@ -428,6 +458,7 @@ class ShardedMicroblogSystem(MicroblogSystemBase):
                 obs=self.obs,
                 columnar=config.columnar,
                 interner=shard.engine.interner,
+                ledger_capacity=config.eviction_ledger_capacity,
             )
 
         shard.pipeline = PipelinedEngine(
@@ -502,6 +533,8 @@ class ShardedMicroblogSystem(MicroblogSystemBase):
                 f"used of {shard.capacity_bytes}; a single record may exceed "
                 "the shard's memory budget"
             )
+        if self._balancer is not None:
+            self._balancer.on_shard_flush(self)
 
     # ------------------------------------------------------------------
     # Control and metrics
@@ -613,7 +646,26 @@ class ShardedMicroblogSystem(MicroblogSystemBase):
             for shard in self.shards
         }
         snap["shard_skew"] = self.shard_skew()
+        hot = self.hot_keys()
+        if hot:
+            snap["hot_keys"] = hot
         return snap
+
+    def hot_keys(self, n: int = 10) -> dict:
+        """Top-``n`` most-queried / most-evicted keys across all shards.
+
+        Keys are partitioned (each owned by exactly one shard), so the
+        per-shard tables concatenate without double counting; the merged
+        tables re-rank on count with the same stable tie-break."""
+        merged: dict[str, list] = {}
+        for shard in self.shards:
+            table = shard.engine.hot_keys(n)
+            for section, rows in table.items():
+                merged.setdefault(section, []).extend(rows)
+        return {
+            section: sorted(rows, key=lambda row: (-row[1], row[0]))[:n]
+            for section, rows in merged.items()
+        }
 
     def check_integrity(self) -> None:
         """Per-shard engine invariants plus the partitioning invariant:

@@ -235,6 +235,8 @@ class MicroblogSystem(MicroblogSystemBase):
             obs=self.obs,
             columnar=config.columnar,
             interner=interner,
+            ledger_capacity=config.eviction_ledger_capacity,
+            adaptive=config.adaptive_settings(),
         )
         #: Rotation coordinator when ``config.pipelined_ingest`` is on;
         #: None keeps the synchronous inline-flush path byte-for-byte.
@@ -298,6 +300,9 @@ class MicroblogSystem(MicroblogSystemBase):
         """A fresh same-policy engine to digest into while the long-lived
         engine is frozen for a background flush."""
         config = self.config
+        # Overlays stay non-adaptive: they live for one rotation window
+        # and are absorbed back into the long-lived engine, which owns
+        # the heat, the allocator, and the retune schedule.
         return create_engine(
             config.policy,
             model=config.effective_memory_model(),
@@ -310,6 +315,7 @@ class MicroblogSystem(MicroblogSystemBase):
             obs=self.obs,
             columnar=config.columnar,
             interner=self.engine.interner,
+            ledger_capacity=config.eviction_ledger_capacity,
         )
 
     def _flush(self) -> FlushReport:
@@ -376,6 +382,16 @@ class MicroblogSystem(MicroblogSystemBase):
 
     def frequency_snapshot(self) -> dict[Hashable, int]:
         return self._store.frequency_snapshot()
+
+    def snapshot(self) -> dict:
+        """Registry snapshot extended with the per-key hotness table
+        (``hot_keys``) whenever heat tracking is on (attribution or
+        adaptive mode)."""
+        snap = super().snapshot()
+        hot = self.engine.hot_keys()
+        if hot:
+            snap["hot_keys"] = hot
+        return snap
 
     def flush_reports(self) -> list[FlushReport]:
         return self.engine.flush_reports

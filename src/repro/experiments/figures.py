@@ -140,6 +140,7 @@ def fig1_snapshot(
     disk_cache_bytes: int = 0,
     disk_elide_empty: bool = False,
     columnar: bool = False,
+    adaptive: bool = False,
 ) -> FigureResult:
     """Memory-content snapshots under temporal flushing vs kFlushing.
 
@@ -159,6 +160,7 @@ def fig1_snapshot(
             disk_cache_bytes=disk_cache_bytes,
             disk_elide_empty=disk_elide_empty,
             columnar=columnar,
+            adaptive=adaptive,
         )
         system = spec.build_system()
         stream = spec.build_stream()

@@ -88,6 +88,13 @@ class TrialSpec:
     #: (requires ``columnar``; False keeps the legacy budget math so
     #: flush cadence stays comparable across layouts).
     columnar_cost: bool = False
+    #: Run the adaptive retention/budget controller at flush boundaries
+    #: (False = the paper's static kFlushing tuning, bit-identical to it).
+    adaptive: bool = False
+    #: Retune cadence in flush cycles (forwarded to the controller; a
+    #: huge value yields a never-firing controller — the differential
+    #: tests' hook for proving the bookkeeping changes no answers).
+    adaptive_interval: int = 1
 
     def build_system(self, obs: Optional[Instrumentation] = None) -> MicroblogSystemBase:
         config = SystemConfig(
@@ -106,6 +113,8 @@ class TrialSpec:
             flush_workers=self.flush_workers,
             columnar=self.columnar,
             columnar_cost=self.columnar_cost,
+            adaptive=self.adaptive,
+            adaptive_interval=self.adaptive_interval,
         )
         return build_system_from_config(
             config,

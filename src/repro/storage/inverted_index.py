@@ -44,12 +44,18 @@ class HashInvertedIndex:
     Both share one API, so the index itself is layout-agnostic.
     """
 
-    def __init__(self, model: MemoryModel, k: int, entry_factory=PostingList) -> None:
+    def __init__(
+        self, model: MemoryModel, k: int, entry_factory=PostingList, allocator=None
+    ) -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         self._model = model
         self._k = k
         self._entry_factory = entry_factory
+        #: Per-key retention depths (``repro.core.adaptive.KAllocator``,
+        #: ``depth_of(key) >= k`` always).  None — the default — keeps
+        #: every threshold at the global ``k``, the legacy fast path.
+        self._allocator = allocator
         self._entries: dict[Hashable, PostingList] = {}
         self._overflow: set[Hashable] = set()
         self._bytes = 0
@@ -97,6 +103,22 @@ class HashInvertedIndex:
     def overflow_keys(self) -> frozenset[Hashable]:
         """Snapshot of the overflow list L (keys with more than k postings)."""
         return frozenset(self._overflow)
+
+    def depth_of(self, key: Hashable) -> int:
+        """Retention depth Phase 1 trims ``key`` to: the allocator's
+        per-key depth when adaptive is on, else the global ``k``."""
+        allocator = self._allocator
+        return self._k if allocator is None else allocator.depth_of(key)
+
+    def refresh_overflow(self, key: Hashable) -> None:
+        """Re-derive ``key``'s overflow membership after its retention
+        depth changed (a demotion can put an untouched entry back over
+        its depth; a promotion takes it out)."""
+        entry = self._entries.get(key)
+        if entry is not None and len(entry) > self.depth_of(key):
+            self._overflow.add(key)
+        else:
+            self._overflow.discard(key)
 
     def k_filled_count(self, k: Optional[int] = None) -> int:
         """Number of keys whose entries hold at least ``k`` postings above
@@ -166,9 +188,19 @@ class HashInvertedIndex:
         if k == self._k:
             return
         self._k = k
-        self._overflow = {
-            key for key, entry in self._entries.items() if len(entry) > k
-        }
+        allocator = self._allocator
+        if allocator is None:
+            self._overflow = {
+                key for key, entry in self._entries.items() if len(entry) > k
+            }
+        else:
+            # The engine rebases the allocator before calling us, so the
+            # per-key depths already sit on the new floor.
+            self._overflow = {
+                key
+                for key, entry in self._entries.items()
+                if len(entry) > allocator.depth_of(key)
+            }
         # One O(index) rebuild per k change; thereafter the k-filled set
         # is maintained incrementally again.
         self._rebuild_k_filled()
@@ -196,7 +228,9 @@ class HashInvertedIndex:
         self._bytes += self._model.posting_bytes
         self._postings_total += 1
         if len(entry) > self._k:
-            self._overflow.add(key)
+            allocator = self._allocator
+            if allocator is None or len(entry) > allocator.depth_of(key):
+                self._overflow.add(key)
         # Inserting never lowers the k-th-best posting nor the floor, so
         # membership can only switch on here, never off.
         if key not in self._k_filled and entry.is_k_filled(self._k):
@@ -227,7 +261,9 @@ class HashInvertedIndex:
         self._bytes += self._model.posting_bytes
         self._postings_total += 1
         if len(entry) > self._k:
-            self._overflow.add(key)
+            allocator = self._allocator
+            if allocator is None or len(entry) > allocator.depth_of(key):
+                self._overflow.add(key)
         if key not in self._k_filled and entry.is_k_filled(self._k):
             self._k_filled.add(key)
         return entry
@@ -259,6 +295,7 @@ class HashInvertedIndex:
         entries_get = entries.get
         factory = self._entry_factory
         k = self._k
+        allocator = self._allocator
         overflow = self._overflow
         k_filled = self._k_filled
         model = self._model
@@ -296,7 +333,7 @@ class HashInvertedIndex:
                     entry.last_arrival = timestamp
             n = len(scores)
             if n >= k:
-                if n > k:
+                if n > k and (allocator is None or n > allocator.depth_of(key)):
                     overflow.add(key)
                 if key not in k_filled and entry.is_k_filled(k):
                     k_filled.add(key)
