@@ -30,11 +30,18 @@ Subcommands
     gauges when sharded, ingest-stall histogram and pipeline counters
     when pipelined) as JSON or Prometheus-style text; the system's
     invariants are checked before the dump.
-``trace metrics.jsonl [--top 5] [--require-miss-causes]``
+``trace metrics.jsonl [--top 5] [--require-miss-causes] [--strict]``
     Offline analysis of an events JSONL (``--metrics-out`` /
     ``--events-out`` output): reconstruct query/flush span trees, print
     the top-N slowest queries with their shard/disk breakdown, flush
-    wall-time attribution per phase, and the eviction-cause miss table.
+    wall-time attribution per phase, the eviction-cause miss table, and
+    the count of orphan spans dropped during reconstruction
+    (``--strict`` turns orphans into a non-zero exit).
+``slo spec.json (--events m.jsonl | --bench BENCH.json | --url http://...) [--check]``
+    Evaluate a declarative SLO spec against captured metrics (registry
+    snapshots inside an events JSONL), a benchmark-trajectory JSON, or
+    a live ops endpoint's ``/snapshot``; exits non-zero on any violated
+    objective (``--check`` also fails objectives with no data).
 ``serve [--port 8080] [--policy kflushing] [--duration 0]``
     Standalone ops-endpoint demo: drive a continuous synthetic workload
     while serving ``/metrics`` (Prometheus), ``/snapshot`` (JSON) and
@@ -71,8 +78,9 @@ from repro.obs import (
     to_json,
     to_prometheus_text,
 )
+from repro.obs.slo import SLOSpec, evaluate_registry
 from repro.obs.traceview import (
-    build_traces,
+    build_traces_report,
     flush_attribution,
     load_events,
     merge_snapshot_events,
@@ -104,6 +112,9 @@ def _figure_kwargs(
     pipelined: bool = False,
     columnar: bool = False,
     adaptive: bool = False,
+    slo_spec: Optional[str] = None,
+    flight_recorder_events: int = 0,
+    flight_recorder_path: Optional[str] = None,
 ) -> dict:
     """Keyword arguments for one figure function.
 
@@ -128,7 +139,32 @@ def _figure_kwargs(
         kwargs["columnar"] = columnar
     if adaptive and "adaptive" in params:
         kwargs["adaptive"] = adaptive
+    if slo_spec and "slo_spec" in params:
+        kwargs["slo_spec"] = slo_spec
+    if flight_recorder_events > 0 and "flight_recorder_events" in params:
+        kwargs["flight_recorder_events"] = flight_recorder_events
+        if flight_recorder_path and "flight_recorder_path" in params:
+            kwargs["flight_recorder_path"] = flight_recorder_path
     return kwargs
+
+
+def _print_slo_report(report: dict) -> int:
+    """Render a one-shot SLO evaluation; returns the violation count."""
+    violations = 0
+    print("-- SLO report --")
+    for obj in report["objectives"]:
+        if obj["no_data"]:
+            status, shown = "NO DATA", "-"
+        elif obj["ok"]:
+            status, shown = "ok", f"{obj['value']:g}"
+        else:
+            status, shown = "VIOLATED", f"{obj['value']:g}"
+            violations += 1
+        print(
+            f"  {status:9s} {obj['name']}: {obj['metric']} {obj['op']} "
+            f"{obj['threshold']:g} (observed {shown})"
+        )
+    return violations
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -136,6 +172,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
     obs: Optional[Instrumentation] = None
     jobs = resolve_jobs(args.jobs)
+    slo_spec: Optional[SLOSpec] = None
+    if args.slo:
+        # Fail fast: a malformed spec should die before hours of trials.
+        slo_spec = SLOSpec.parse(args.slo)
     if args.metrics_out:
         # Parallel workers write per-trial metric shards that run_trials
         # merges back into this sink's file, so --jobs stays effective.
@@ -144,6 +184,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         obs = Instrumentation(
             sink=JsonlSink(args.metrics_out), tracing=True, attribution=True
         )
+    elif slo_spec is not None:
+        # The end-of-run SLO verdict needs every system of the run on one
+        # shared registry even when no events file was requested.
+        obs = Instrumentation(attribution=True)
     server = None
     if args.serve is not None:
         from repro.obs import OpsServer
@@ -152,8 +196,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if obs is None:
             # Figures must still share one registry so /metrics has data.
             obs = Instrumentation(registry=serve_registry)
-        server = OpsServer(serve_registry, port=args.serve).start()
-        print(f"[ops endpoint live at {server.url} — /metrics /snapshot /healthz]")
+        slo_provider = None
+        if slo_spec is not None:
+            spec = slo_spec
+
+            def slo_provider() -> dict:
+                return evaluate_registry(spec, serve_registry)
+
+        server = OpsServer(
+            serve_registry, port=args.serve, slo_provider=slo_provider
+        ).start()
+        endpoints = "/metrics /snapshot /healthz" + (
+            " /slo" if slo_provider is not None else ""
+        )
+        print(f"[ops endpoint live at {server.url} — {endpoints}]")
+    exit_code = 0
     try:
         for name in names:
             fn = ALL_FIGURES[name]
@@ -167,6 +224,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 pipelined=args.pipelined,
                 columnar=args.columnar,
                 adaptive=args.adaptive,
+                slo_spec=args.slo,
+                flight_recorder_events=args.flight_recorder,
+                flight_recorder_path=args.flight_recorder_dump,
             )
             start = time.perf_counter()
             if obs is not None:
@@ -196,10 +256,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             obs.event("run_snapshot", figures=names, metrics=obs.registry.snapshot())
             obs.close()
             print(f"[metrics written to {args.metrics_out}]")
+        if slo_spec is not None and obs is not None:
+            # One-shot verdict over the whole run (the per-system
+            # SLOTrackers already ticked at flush boundaries; this is the
+            # CI-facing aggregate over the shared registry).
+            report = evaluate_registry(slo_spec, obs.registry)
+            violations = _print_slo_report(report)
+            if violations:
+                print(f"[slo: {violations} objective(s) violated]")
+                exit_code = 1
+            else:
+                print("[slo: all objectives met]")
     finally:
         if server is not None:
             server.stop()
-    return 0
+    return exit_code
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -228,8 +299,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Offline analysis of an events JSONL: span trees + attributions."""
     events = load_events(args.path)
-    traces = build_traces(events)
+    report = build_traces_report(events)
+    traces = report.traces
     print(f"[{args.path}: {len(events)} events, {len(traces)} complete traces]")
+    print(f"[dropped_orphans: {report.dropped_orphans}]")
 
     queries = query_summaries(traces, top=args.top)
     print(f"\n-- Top {min(args.top, len(queries))} slowest query traces --")
@@ -268,6 +341,96 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.require_miss_causes and not causes:
         print("error: no miss causes found (expected a non-empty table)")
         return 1
+    if args.strict and report.dropped_orphans:
+        print(
+            f"error: {report.dropped_orphans} orphan span(s) could not be "
+            "attached to any trace (truncated or corrupt events file)"
+        )
+        return 1
+    return 0
+
+
+def _slo_registry_from_bench(path: str) -> MetricsRegistry:
+    """Pseudo-registry over a BENCH_*.json file.
+
+    Every record becomes a gauge ``bench.<metric>.<policy>``; the first
+    record seen for each metric also sets the bare ``bench.<metric>``
+    gauge, so specs can target a metric without naming a policy.
+    """
+    registry = MetricsRegistry()
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, list):
+        raise ValueError(f"{path}: expected a JSON list of bench records")
+    seen: set = set()
+    for record in payload:
+        metric = record.get("metric")
+        policy = record.get("policy")
+        value = record.get("value")
+        if not metric or value is None:
+            continue
+        if policy:
+            registry.gauge(f"bench.{metric}.{policy}").set(float(value))
+        if metric not in seen:
+            seen.add(metric)
+            registry.gauge(f"bench.{metric}").set(float(value))
+    return registry
+
+
+def _slo_registry_from_url(url: str) -> MetricsRegistry:
+    """Registry built from a live ops endpoint's ``/snapshot``."""
+    from urllib.request import urlopen
+
+    base = url.rstrip("/")
+    if not base.endswith("/snapshot"):
+        base = f"{base}/snapshot"
+    with urlopen(base, timeout=10.0) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+    registry = MetricsRegistry()
+    registry.merge(payload)
+    return registry
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Evaluate an SLO spec against captured or live metrics."""
+    sources = [name for name in ("events", "bench", "url") if getattr(args, name)]
+    if len(sources) != 1:
+        print("error: provide exactly one of --events, --bench, --url")
+        return 2
+    try:
+        spec = SLOSpec.parse(args.spec)
+    except (ValueError, OSError) as exc:
+        print(f"error: invalid SLO spec: {exc}")
+        return 2
+    try:
+        if args.events:
+            registry = merge_snapshot_events(args.events)
+        elif args.bench:
+            registry = _slo_registry_from_bench(args.bench)
+        else:
+            registry = _slo_registry_from_url(args.url)
+    except (OSError, ValueError) as exc:
+        print(f"error: could not load metrics: {exc}")
+        return 2
+    report = evaluate_registry(spec, registry)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        violations = sum(
+            1 for obj in report["objectives"] if not obj["no_data"] and not obj["ok"]
+        )
+    else:
+        violations = _print_slo_report(report)
+    no_data = sum(1 for obj in report["objectives"] if obj["no_data"])
+    if violations:
+        print(f"[slo: {violations} objective(s) violated]")
+        return 1
+    if no_data:
+        print(f"[slo: {no_data} objective(s) had no data]")
+        if args.check:
+            # --check is the CI gate: an objective that silently never
+            # measured anything must fail loudly, not pass vacuously.
+            return 1
+        return 0
+    print("[slo: all objectives met]")
     return 0
 
 
@@ -283,12 +446,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         and_scan_depth=500,
         and_disk_limit=500,
         shards=args.shards,
+        slo_spec=args.slo,
+        flight_recorder_events=args.flight_recorder,
     )
     system = build_system(config, obs=obs)
     server = OpsServer(
-        obs.registry, port=args.port, snapshot_provider=system.snapshot
+        system.obs.registry,
+        port=args.port,
+        snapshot_provider=system.snapshot,
+        slo_provider=system.slo_state if args.slo else None,
     ).start()
-    print(f"[serving /metrics /snapshot /healthz at {server.url}]")
+    endpoints = "/metrics /snapshot /healthz" + (" /slo" if args.slo else "")
+    print(f"[serving {endpoints} at {server.url}]")
     if args.duration > 0:
         print(f"[driving a {args.policy} workload for {args.duration:.0f}s ...]")
     else:
@@ -520,6 +689,38 @@ def build_parser() -> argparse.ArgumentParser:
             "duration of the run (0 = OS-assigned)"
         ),
     )
+    run.add_argument(
+        "--slo",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "SLO spec (JSON file path or inline JSON object): every "
+            "system of the run tracks its error budgets at flush "
+            "boundaries, and the run exits non-zero when the aggregate "
+            "registry violates any objective; with --serve also turns "
+            "on /slo and breach-aware /healthz"
+        ),
+    )
+    run.add_argument(
+        "--flight-recorder",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "keep the last N instrumentation events in a flight-recorder "
+            "ring per system; an SLO breach dumps them plus the registry "
+            "and SLO state as JSONL (0 = off, zero overhead)"
+        ),
+    )
+    run.add_argument(
+        "--flight-recorder-dump",
+        default=None,
+        metavar="PATH",
+        help=(
+            "where breach dumps are written (default: "
+            "flight_recorder_dump.jsonl in the working directory)"
+        ),
+    )
     run.set_defaults(fn=_cmd_run)
 
     bench = sub.add_parser(
@@ -537,7 +738,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        default="BENCH_PR9.json",
+        default="BENCH_PR10.json",
         metavar="PATH",
         help="where to write the benchmark records (JSON)",
     )
@@ -677,7 +878,61 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit non-zero when the miss-cause table is empty (CI gate)",
     )
+    trace.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "exit non-zero when any span could not be attached to a "
+            "complete trace (dropped_orphans > 0; CI gate for truncated "
+            "event files)"
+        ),
+    )
     trace.set_defaults(fn=_cmd_trace)
+
+    slo = sub.add_parser(
+        "slo", help="evaluate an SLO spec against captured or live metrics"
+    )
+    slo.add_argument(
+        "spec", help="SLO spec: JSON file path or inline JSON object"
+    )
+    slo.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help=(
+            "evaluate against the merged registry snapshots of an events "
+            "JSONL (--metrics-out / --events-out output)"
+        ),
+    )
+    slo.add_argument(
+        "--bench",
+        default=None,
+        metavar="PATH",
+        help=(
+            "evaluate against a BENCH_*.json file (records become "
+            "bench.<metric>.<policy> and bench.<metric> gauges)"
+        ),
+    )
+    slo.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="evaluate against a live ops endpoint's /snapshot",
+    )
+    slo.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "CI gate: also exit non-zero when any objective had no data "
+            "(a spec that measures nothing must not pass vacuously)"
+        ),
+    )
+    slo.add_argument(
+        "--json",
+        action="store_true",
+        help="print the evaluation as JSON instead of a table",
+    )
+    slo.set_defaults(fn=_cmd_slo)
 
     serve = sub.add_parser(
         "serve", help="live ops endpoint over a continuous demo workload"
@@ -700,6 +955,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="seconds to run before exiting (0 = until interrupted)",
+    )
+    serve.add_argument(
+        "--slo",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "SLO spec (JSON file or inline JSON): the system tracks "
+            "error budgets at flush boundaries and serves /slo; /healthz "
+            "turns 503 while any budget is exhausted"
+        ),
+    )
+    serve.add_argument(
+        "--flight-recorder",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "flight-recorder ring of the last N events; SLO breaches "
+            "dump it as JSONL (0 = off)"
+        ),
     )
     serve.set_defaults(fn=_cmd_serve)
 

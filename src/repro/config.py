@@ -167,6 +167,18 @@ class SystemConfig:
     #: Eviction-cause ledger capacity (keys).  Evictions recorded past
     #: it drop the oldest entry and bump ``eviction_ledger.dropped``.
     eviction_ledger_capacity: int = EvictionLedger.DEFAULT_CAPACITY
+    #: Declarative SLO objectives (``repro.obs.slo``): a spec dict, a
+    #: JSON string, or a path to a spec file.  None (default) = no
+    #: tracker is built and flush boundaries pay one None test.
+    slo_spec: Union[str, dict, None] = None
+    #: Flight-recorder ring-buffer capacity in events (0 = off, the
+    #: default).  When on, the system's tracing routes through a
+    #: bounded :class:`~repro.obs.recorder.FlightRecorder` that dumps a
+    #: JSONL black box on SLO breach or on demand.
+    flight_recorder_events: int = 0
+    #: Where breach-triggered flight-recorder dumps land (None = the
+    #: default ``flight_recorder_dump.jsonl`` in the working directory).
+    flight_recorder_path: Union[str, None] = None
 
     def __post_init__(self) -> None:
         names = policy_names()
@@ -256,7 +268,22 @@ class SystemConfig:
                 f"eviction_ledger_capacity must be >= 1, got "
                 f"{self.eviction_ledger_capacity}"
             )
+        if self.flight_recorder_events < 0:
+            raise ConfigurationError(
+                f"flight_recorder_events must be >= 0, got "
+                f"{self.flight_recorder_events}"
+            )
         # Fail fast on unknown names rather than at system build time.
+        # An inline slo_spec dict/JSON string is validated eagerly too;
+        # a file path is resolved lazily at system build (the file may
+        # be written after the config is constructed).
+        if isinstance(self.slo_spec, dict) or (
+            isinstance(self.slo_spec, str) and self.slo_spec.strip().startswith("{")
+        ):
+            try:
+                self.build_slo_spec()
+            except (ValueError, TypeError) as exc:
+                raise ConfigurationError(f"invalid slo_spec: {exc}") from exc
         self.build_attribute()
         self.build_ranking()
 
@@ -334,6 +361,21 @@ class SystemConfig:
             hot_keys=self.adaptive_hot_keys,
             shard_step=self.adaptive_shard_step,
         )
+
+    def build_slo_spec(self):
+        """The parsed :class:`~repro.obs.slo.SLOSpec`, or None when
+        ``slo_spec`` is unset (the legacy untracked path)."""
+        if self.slo_spec is None:
+            return None
+        from repro.obs.slo import SLOSpec
+
+        return SLOSpec.parse(self.slo_spec)
+
+    def resolved_flight_recorder_path(self) -> str:
+        """Where a breach-triggered flight-recorder dump is written."""
+        if self.flight_recorder_path is not None:
+            return self.flight_recorder_path
+        return "flight_recorder_dump.jsonl"
 
     def effective_memory_model(self) -> MemoryModel:
         """The byte-cost model engines and archives should budget with:

@@ -366,7 +366,7 @@ class ShardedMicroblogSystem(MicroblogSystemBase):
         obs: Optional[Instrumentation] = None,
     ) -> None:
         self.config = config
-        self.obs = obs if obs is not None else (get_active() or Instrumentation())
+        self.obs = self._resolve_obs(config, obs)
         self.attribute = config.build_attribute()
         self.ranking = config.build_ranking()
         self.router = ShardRouter(config.shards)
@@ -409,6 +409,7 @@ class ShardedMicroblogSystem(MicroblogSystemBase):
             else None
         )
         self.obs.registry.gauge("shards.count").set(config.shards)
+        self._init_service_levels()
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -535,6 +536,35 @@ class ShardedMicroblogSystem(MicroblogSystemBase):
             )
         if self._balancer is not None:
             self._balancer.on_shard_flush(self)
+        self._service_level_tick()
+
+    def _sample_watermarks(self) -> None:
+        # Lock-free reads only (see the unsharded twin) — safe from the
+        # flush-worker threads.
+        watermarks = self.watermarks
+        total = cache_bytes = 0
+        overlay = ledger_entries = 0
+        for shard in self.shards:
+            used = shard.store.memory_bytes
+            total += used
+            watermarks.observe(f"shard.{shard.shard_id}.memory.bytes_used", used)
+            if shard.pipeline is not None:
+                overlay += max(0, used - shard.engine.memory_bytes)
+            if shard.disk.cache is not None:
+                cache_bytes += shard.disk.cache.bytes_used
+            ledger = shard.engine.eviction_ledger
+            if ledger is not None:
+                ledger_entries += len(ledger)
+        watermarks.observe("memory.bytes_used", total)
+        if self._pool is not None:
+            watermarks.observe("memory.overlay_bytes", overlay)
+            depth = self.obs.registry.get_gauge("pipeline.queue_depth")
+            if depth is not None:
+                watermarks.observe("pipeline.queue_depth", depth.value)
+        if self.config.disk_cache_bytes > 0:
+            watermarks.observe("disk.cache_bytes", cache_bytes)
+        if ledger_entries:
+            watermarks.observe("eviction_ledger.entries", ledger_entries)
 
     # ------------------------------------------------------------------
     # Control and metrics

@@ -34,7 +34,10 @@ from repro.engine.stats import SystemStats
 from repro.errors import CapacityError
 from repro.model.microblog import Microblog
 from repro.obs import Instrumentation
+from repro.obs.recorder import FlightRecorder, attach_flight_recorder
 from repro.obs.runtime import get_active
+from repro.obs.slo import SLOTracker
+from repro.obs.watermarks import WatermarkTracker
 from repro.storage.disk import DiskArchive
 from repro.storage.interner import get_global_interner
 
@@ -54,6 +57,12 @@ class MicroblogSystemBase(ABC):
     executor: QueryExecutor
     clock: LogicalClock
     stats: SystemStats
+    #: Black-box ring buffer (``config.flight_recorder_events > 0``).
+    flight_recorder: Optional[FlightRecorder]
+    #: Error-budget tracker (``config.slo_spec`` set), ticked per flush.
+    slo_tracker: Optional[SLOTracker]
+    #: Resource high-water marks, sampled at flush boundaries.
+    watermarks: WatermarkTracker
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -122,6 +131,77 @@ class MicroblogSystemBase(ABC):
         self.stats.ingest.record_stall(seconds)
         self.obs.registry.counter("ingest.stalls").inc()
         self.obs.registry.histogram("ingest.stall_seconds").record(seconds)
+
+    # ------------------------------------------------------------------
+    # Service levels (SLO tracker, flight recorder, watermarks)
+    # ------------------------------------------------------------------
+
+    def _resolve_obs(
+        self, config: SystemConfig, obs: Optional[Instrumentation]
+    ) -> Instrumentation:
+        """Resolve the system's Instrumentation (explicit arg > active
+        scope > private) and, when the flight recorder is configured,
+        fork it with the recorder tee'd in front of the sink.  Must run
+        before any component is built so everything traces through the
+        recorder."""
+        resolved = obs if obs is not None else (get_active() or Instrumentation())
+        self.flight_recorder = None
+        if config.flight_recorder_events > 0:
+            resolved, self.flight_recorder = attach_flight_recorder(
+                resolved, config.flight_recorder_events
+            )
+        return resolved
+
+    def _init_service_levels(self) -> None:
+        """Build the watermark tracker and (when configured) the SLO
+        tracker; called at the end of subclass ``__init__``."""
+        self.watermarks = WatermarkTracker(self.obs.registry)
+        self.slo_tracker = None
+        spec = self.config.build_slo_spec()
+        if spec is not None:
+            tracker = SLOTracker(spec, self.obs.registry, emit=self.obs.event)
+            if self.flight_recorder is not None:
+                tracker.add_breach_callback(self._dump_on_breach)
+            self.slo_tracker = tracker
+
+    def _service_level_tick(self) -> None:
+        """One flush-boundary heartbeat: sample resource watermarks,
+        then evaluate the SLO objectives.  Runs on the flush-worker
+        thread in pipelined mode — everything it touches is either
+        lock-free reads or internally locked."""
+        self._sample_watermarks()
+        if self.slo_tracker is not None:
+            self.slo_tracker.tick()
+
+    def _sample_watermarks(self) -> None:
+        """Feed the watermark tracker; subclasses override."""
+
+    def slo_state(self) -> Optional[dict]:
+        """The SLO tracker's state dict, or None when no spec is set."""
+        if self.slo_tracker is None:
+            return None
+        return self.slo_tracker.state()
+
+    def dump_flight_recorder(
+        self, path: Optional[str] = None, reason: str = "on_demand"
+    ):
+        """Write the black box (recent traces + registry snapshot + SLO
+        state) to ``path``; returns the path written, or None when the
+        recorder is off."""
+        if self.flight_recorder is None:
+            return None
+        target = (
+            path if path is not None else self.config.resolved_flight_recorder_path()
+        )
+        return self.flight_recorder.dump(
+            target,
+            registry=self.obs.registry,
+            slo_state=self.slo_state(),
+            reason=reason,
+        )
+
+    def _dump_on_breach(self, payload: dict) -> None:
+        self.dump_flight_recorder(reason=f"slo_breach:{payload['name']}")
 
     # ------------------------------------------------------------------
     # Control and metrics
@@ -209,8 +289,10 @@ class MicroblogSystem(MicroblogSystemBase):
         #: Instrumentation shared by every component of this system.  An
         #: explicit argument wins; otherwise the enclosing
         #: ``repro.obs.activated`` scope (experiment runs) or a private
-        #: registry (the library default).
-        self.obs = obs if obs is not None else (get_active() or Instrumentation())
+        #: registry (the library default).  When the flight recorder is
+        #: configured the resolved instance is forked with the recorder
+        #: ring buffer tee'd in front of the sink.
+        self.obs = self._resolve_obs(config, obs)
         self.attribute = config.build_attribute()
         self.ranking = config.build_ranking()
         model = config.effective_memory_model()
@@ -273,6 +355,7 @@ class MicroblogSystem(MicroblogSystemBase):
         )
         self.clock = LogicalClock()
         self.stats = SystemStats()
+        self._init_service_levels()
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -353,6 +436,27 @@ class MicroblogSystem(MicroblogSystemBase):
                 f"{self.config.memory_capacity_bytes}; a single record may "
                 "exceed the memory budget"
             )
+        self._service_level_tick()
+
+    def _sample_watermarks(self) -> None:
+        # All reads here are lock-free (plain attribute/dict reads under
+        # the GIL), so this is safe from the flush-worker thread.
+        watermarks = self.watermarks
+        total = self._store.memory_bytes
+        watermarks.observe("memory.bytes_used", total)
+        if self._pipeline is not None:
+            watermarks.observe(
+                "memory.overlay_bytes", max(0, total - self.engine.memory_bytes)
+            )
+            depth = self.obs.registry.get_gauge("pipeline.queue_depth")
+            if depth is not None:
+                watermarks.observe("pipeline.queue_depth", depth.value)
+        cache = getattr(self.disk, "cache", None)
+        if cache is not None:
+            watermarks.observe("disk.cache_bytes", cache.bytes_used)
+        ledger = getattr(self.engine, "eviction_ledger", None)
+        if ledger is not None:
+            watermarks.observe("eviction_ledger.entries", len(ledger))
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -11,7 +11,7 @@ testbed; see EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 from repro.config import SystemConfig
 from repro.engine.system import MicroblogSystem
@@ -141,6 +141,9 @@ def fig1_snapshot(
     disk_elide_empty: bool = False,
     columnar: bool = False,
     adaptive: bool = False,
+    slo_spec: Optional[str] = None,
+    flight_recorder_events: int = 0,
+    flight_recorder_path: Optional[str] = None,
 ) -> FigureResult:
     """Memory-content snapshots under temporal flushing vs kFlushing.
 
@@ -161,6 +164,9 @@ def fig1_snapshot(
             disk_elide_empty=disk_elide_empty,
             columnar=columnar,
             adaptive=adaptive,
+            slo_spec=slo_spec,
+            flight_recorder_events=flight_recorder_events,
+            flight_recorder_path=flight_recorder_path,
         )
         system = spec.build_system()
         stream = spec.build_stream()
@@ -387,11 +393,17 @@ def _hit_figure(
     disk_cache_bytes: int = 0,
     disk_elide_empty: bool = False,
     pipelined: bool = False,
+    slo_spec: Optional[str] = None,
+    flight_recorder_events: int = 0,
+    flight_recorder_path: Optional[str] = None,
 ) -> FigureResult:
     disk_kwargs = dict(
         disk_cache_bytes=disk_cache_bytes,
         disk_elide_empty=disk_elide_empty,
         pipelined_ingest=pipelined,
+        slo_spec=slo_spec,
+        flight_recorder_events=flight_recorder_events,
+        flight_recorder_path=flight_recorder_path,
     )
 
     def measure(result: TrialResult) -> float:
@@ -484,6 +496,9 @@ def fig8_hit_correlated(
     disk_cache_bytes: int = 0,
     disk_elide_empty: bool = False,
     pipelined: bool = False,
+    slo_spec: Optional[str] = None,
+    flight_recorder_events: int = 0,
+    flight_recorder_path: Optional[str] = None,
 ) -> FigureResult:
     return _hit_figure(
         "fig8",
@@ -498,6 +513,9 @@ def fig8_hit_correlated(
         disk_cache_bytes=disk_cache_bytes,
         disk_elide_empty=disk_elide_empty,
         pipelined=pipelined,
+        slo_spec=slo_spec,
+        flight_recorder_events=flight_recorder_events,
+        flight_recorder_path=flight_recorder_path,
     )
 
 
@@ -509,6 +527,9 @@ def fig9_hit_uniform(
     disk_cache_bytes: int = 0,
     disk_elide_empty: bool = False,
     pipelined: bool = False,
+    slo_spec: Optional[str] = None,
+    flight_recorder_events: int = 0,
+    flight_recorder_path: Optional[str] = None,
 ) -> FigureResult:
     return _hit_figure(
         "fig9",
@@ -523,6 +544,9 @@ def fig9_hit_uniform(
         disk_cache_bytes=disk_cache_bytes,
         disk_elide_empty=disk_elide_empty,
         pipelined=pipelined,
+        slo_spec=slo_spec,
+        flight_recorder_events=flight_recorder_events,
+        flight_recorder_path=flight_recorder_path,
     )
 
 

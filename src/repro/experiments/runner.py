@@ -95,6 +95,13 @@ class TrialSpec:
     #: huge value yields a never-firing controller — the differential
     #: tests' hook for proving the bookkeeping changes no answers).
     adaptive_interval: int = 1
+    #: Declarative SLO objectives (a spec dict, JSON string, or file
+    #: path; None = no tracker, the paper's untracked path).
+    slo_spec: str | None = None
+    #: Flight-recorder ring capacity in events (0 = off).
+    flight_recorder_events: int = 0
+    #: Breach-dump path (None = ``flight_recorder_dump.jsonl``).
+    flight_recorder_path: str | None = None
 
     def build_system(self, obs: Optional[Instrumentation] = None) -> MicroblogSystemBase:
         config = SystemConfig(
@@ -115,6 +122,9 @@ class TrialSpec:
             columnar_cost=self.columnar_cost,
             adaptive=self.adaptive,
             adaptive_interval=self.adaptive_interval,
+            slo_spec=self.slo_spec,
+            flight_recorder_events=self.flight_recorder_events,
+            flight_recorder_path=self.flight_recorder_path,
         )
         return build_system_from_config(
             config,

@@ -6,6 +6,11 @@ is dependency-free and always-on: components hold an
 :class:`Instrumentation` (registry + sink) and record into it; the
 default :class:`NullSink` makes the event side free until an entry point
 opts in via :func:`activated` or an explicit sink.
+
+On top of the substrate sit the service-level pieces (PR 10): declarative
+SLO tracking with error budgets (:mod:`repro.obs.slo`), the black-box
+flight recorder (:mod:`repro.obs.recorder`), and resource high-watermark
+accounting (:mod:`repro.obs.watermarks`).
 """
 
 from repro.obs.events import EventSink, JsonlSink, ListSink, NullSink
@@ -17,14 +22,19 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     merge_snapshots,
+    percentile_from_buckets,
 )
+from repro.obs.recorder import FlightRecorder, attach_flight_recorder
 from repro.obs.runtime import activated, get_active, set_active
 from repro.obs.server import OpsServer
+from repro.obs.slo import SLObjective, SLOSpec, SLOTracker, evaluate_registry
 from repro.obs.trace import TraceContext
+from repro.obs.watermarks import WatermarkTracker
 
 __all__ = [
     "Counter",
     "EventSink",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Instrumentation",
@@ -33,10 +43,17 @@ __all__ = [
     "MetricsRegistry",
     "NullSink",
     "OpsServer",
+    "SLObjective",
+    "SLOSpec",
+    "SLOTracker",
     "TraceContext",
+    "WatermarkTracker",
     "activated",
+    "attach_flight_recorder",
+    "evaluate_registry",
     "get_active",
     "merge_snapshots",
+    "percentile_from_buckets",
     "set_active",
     "to_json",
     "to_prometheus_text",

@@ -38,6 +38,8 @@ _HELP_PREFIXES = (
     ("disk.", "Simulated disk tier I/O ledger"),
     ("memory.", "In-memory index occupancy and capacity"),
     ("span.", "Wall-clock span timings"),
+    ("slo.", "SLO objective state: windowed value, budget spent, burn rates"),
+    ("watermark.", "Resource high-water marks sampled at flush boundaries"),
 )
 _SHARD_RE = re.compile(r"^shard\.\d+\.")
 

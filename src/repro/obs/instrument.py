@@ -236,6 +236,29 @@ class Instrumentation:
     # Convenience
     # ------------------------------------------------------------------
 
+    def fork(
+        self,
+        *,
+        sink: Optional[EventSink] = None,
+        tracing: Optional[bool] = None,
+        attribution: Optional[bool] = None,
+        trace_prefix: Optional[str] = None,
+    ) -> "Instrumentation":
+        """A sibling Instrumentation sharing this one's registry.
+
+        Unspecified switches inherit; the sibling's trace serial starts
+        fresh, so components that fork (e.g. the flight recorder wiring)
+        get deterministic trace ids independent of how many traces the
+        parent already emitted.
+        """
+        return Instrumentation(
+            self.registry,
+            sink if sink is not None else self.sink,
+            tracing=self.tracing if tracing is None else tracing,
+            attribution=self.attribution if attribution is None else attribution,
+            trace_prefix=self.trace_prefix if trace_prefix is None else trace_prefix,
+        )
+
     def snapshot(self) -> dict:
         return self.registry.snapshot()
 

@@ -16,7 +16,51 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "merge_snapshots"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "percentile_from_buckets",
+]
+
+
+def percentile_from_buckets(
+    counts,
+    count: int,
+    p: float,
+    scale: float,
+    observed_min: float,
+    observed_max: float,
+) -> float:
+    """Interpolated percentile over log₂ bucket counts.
+
+    The p-th sample rank is located in its bucket, then placed by linear
+    interpolation between the bucket's bounds (bucket 0 spans
+    ``[0, scale]``; bucket i spans ``(scale·2^i, scale·2^(i+1)]``).  The
+    result is clamped to ``[observed_min, observed_max]`` so percentiles
+    stay physical: a histogram of identical samples reports that exact
+    value at every percentile, and no percentile can exceed a sample
+    that was actually recorded.
+    """
+    if not 0.0 < p <= 100.0:
+        raise ValueError(f"p must be in (0, 100], got {p}")
+    if count == 0:
+        return 0.0
+    threshold = math.ceil(count * p / 100.0)
+    running = 0
+    for index, bucket_count in enumerate(counts):
+        if not bucket_count:
+            continue
+        if running + bucket_count >= threshold:
+            lower = 0.0 if index == 0 else scale * (2.0 ** index)
+            upper = scale * (2.0 ** (index + 1))
+            fraction = (threshold - running) / bucket_count
+            value = lower + (upper - lower) * fraction
+            return min(max(value, observed_min), observed_max)
+        running += bucket_count
+    return observed_max
 
 
 class Counter:
@@ -97,24 +141,16 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Upper bound of the bucket holding the p-th percentile,
-        clamped to the observed maximum.
+        """Linear interpolation within the bucket holding the p-th
+        percentile, clamped to ``[min, max]`` of the observed samples.
 
         Without the clamp the bucket bound can exceed every sample ever
         recorded (e.g. all-sub-microsecond samples reporting p50 = 2µs
         while ``max`` < 1µs), which makes percentiles non-physical.
         """
-        if not 0.0 < p <= 100.0:
-            raise ValueError(f"p must be in (0, 100], got {p}")
-        if self.count == 0:
-            return 0.0
-        threshold = math.ceil(self.count * p / 100.0)
-        running = 0
-        for index, count in enumerate(self._counts):
-            running += count
-            if running >= threshold:
-                return min(self.scale * (2.0 ** (index + 1)), self.max)
-        return self.max  # pragma: no cover - unreachable
+        return percentile_from_buckets(
+            self._counts, self.count, p, self.scale, self.min, self.max
+        )
 
     def snapshot(self) -> dict:
         # Trailing zero buckets are trimmed: the list is only as long as
@@ -197,6 +233,21 @@ class MetricsRegistry:
         if metric is None:
             metric = self._histograms[name] = Histogram(scale)
         return metric
+
+    # ------------------------------------------------------------------
+    # Accessors (peek — never create)
+    # ------------------------------------------------------------------
+
+    def get_counter(self, name: str):
+        """The named counter, or None — never creates (SLO probes must
+        not pollute the registry with metrics nothing ever recorded)."""
+        return self._counters.get(name)
+
+    def get_gauge(self, name: str):
+        return self._gauges.get(name)
+
+    def get_histogram(self, name: str):
+        return self._histograms.get(name)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -7,7 +7,11 @@ exposing three read-only endpoints against a live
 * ``/metrics``  — Prometheus text exposition (scrapeable);
 * ``/snapshot`` — the JSON registry snapshot (optionally a richer
   system-provided snapshot when a provider callable is given);
-* ``/healthz``  — liveness probe (``200 ok``).
+* ``/slo``      — the SLO tracker's objective states and error budgets
+  (404 unless an ``slo_provider`` is wired);
+* ``/healthz``  — liveness probe: ``200 ok``, or ``503`` when the SLO
+  provider reports an exhausted error budget (load balancers drain
+  breached instances).
 
 Wired as ``repro run --serve PORT`` (serve while the figures run) and
 ``repro serve`` (a standalone demo that drives a continuous workload).
@@ -43,7 +47,23 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
-            self._respond(200, "text/plain; charset=utf-8", "ok\n")
+            if self._ops().slo_healthy():
+                self._respond(200, "text/plain; charset=utf-8", "ok\n")
+            else:
+                self._respond(
+                    503, "text/plain; charset=utf-8", "slo budget exhausted\n"
+                )
+            return
+        if path == "/slo":
+            state = self._ops().take_slo_state()
+            if state is None:
+                self._respond(404, "text/plain; charset=utf-8", "no slo tracker\n")
+                return
+            self._respond(
+                200,
+                "application/json; charset=utf-8",
+                json.dumps(state, indent=2, sort_keys=True) + "\n",
+            )
             return
         if path == "/metrics":
             self._render(
@@ -90,6 +110,9 @@ class OpsServer:
     ``server.port`` after :meth:`start`.  ``snapshot_provider`` lets an
     entry point serve a richer ``/snapshot`` (e.g. the system facade's
     ``snapshot()`` with per-shard tables) instead of the bare registry.
+    ``slo_provider`` (e.g. the facade's ``slo_state``) turns on ``/slo``
+    and makes ``/healthz`` breach-aware; it is read-only — serving never
+    ticks the tracker, so scrape rate cannot skew tick-based budgets.
     """
 
     def __init__(
@@ -98,9 +121,11 @@ class OpsServer:
         port: int = 8080,
         host: str = "127.0.0.1",
         snapshot_provider: Optional[Callable[[], dict]] = None,
+        slo_provider: Optional[Callable[[], Optional[dict]]] = None,
     ) -> None:
         self.registry = registry
         self._snapshot_provider = snapshot_provider
+        self._slo_provider = slo_provider
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.ops = self  # type: ignore[attr-defined]
@@ -122,6 +147,24 @@ class OpsServer:
         if self._snapshot_provider is not None:
             return self._snapshot_provider()
         return self.registry.snapshot()
+
+    def take_slo_state(self) -> Optional[dict]:
+        if self._slo_provider is None:
+            return None
+        try:
+            return self._slo_provider()
+        except Exception:
+            # A broken provider must not take the ops endpoint down.
+            return None
+
+    def slo_healthy(self) -> bool:
+        """False only when the SLO provider affirmatively reports an
+        exhausted budget; provider absence or failure degrades to
+        healthy (liveness must not flap on plumbing errors)."""
+        state = self.take_slo_state()
+        if state is None:
+            return True
+        return bool(state.get("healthy", True))
 
     def start(self) -> "OpsServer":
         if self._thread is not None:

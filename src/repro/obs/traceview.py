@@ -34,7 +34,9 @@ from repro.obs.metrics import MetricsRegistry
 __all__ = [
     "SpanNode",
     "Trace",
+    "TraceBuildReport",
     "build_traces",
+    "build_traces_report",
     "flush_attribution",
     "load_events",
     "merge_snapshot_events",
@@ -111,13 +113,32 @@ def load_events(path: str) -> list[dict]:
     return events
 
 
+@dataclass
+class TraceBuildReport:
+    """Reconstructed traces plus what could not be attached.
+
+    ``dropped_orphans`` counts span nodes that are reachable from no
+    returned root — spans of a rootless trace (a truncated file lost the
+    root, which is emitted last) or spans whose parent chain is broken.
+    """
+
+    traces: list[Trace]
+    dropped_orphans: int
+
+
 def build_traces(events: Iterable[dict]) -> list[Trace]:
     """Reconstruct complete trace trees from an event stream.
 
     A trace is returned only when its root span (``parent_span`` null)
-    was seen; orphan spans from truncated files are dropped.  Traces
-    come back in file order of their roots.
+    was seen; orphan spans from truncated files are dropped (use
+    :func:`build_traces_report` to count them).  Traces come back in
+    file order of their roots.
     """
+    return build_traces_report(events).traces
+
+
+def build_traces_report(events: Iterable[dict]) -> TraceBuildReport:
+    """Like :func:`build_traces`, also counting dropped orphan spans."""
     nodes_by_trace: dict[str, dict[int, SpanNode]] = {}
     root_order: list[tuple[str, int]] = []
     seen_roots: set[tuple[str, int]] = set()
@@ -154,7 +175,9 @@ def build_traces(events: Iterable[dict]) -> list[Trace]:
             for node in nodes.values():
                 node.children.sort(key=lambda child: child.span_id)
         traces.append(Trace(trace_id, nodes[root_span]))
-    return traces
+    total_nodes = sum(len(nodes) for nodes in nodes_by_trace.values())
+    attached = sum(trace.span_count for trace in traces)
+    return TraceBuildReport(traces=traces, dropped_orphans=total_nodes - attached)
 
 
 def query_summaries(traces: Iterable[Trace], top: int = 10) -> list[dict]:

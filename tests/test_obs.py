@@ -63,6 +63,40 @@ class TestPrimitives:
             hist.record(1e-3)
         assert 1e-3 <= hist.percentile(95.0) <= 2e-3
 
+    def test_histogram_percentile_interpolates_within_bucket(self):
+        # 100 samples spread evenly through one log2 bucket
+        # ((1.024ms, 2.048ms] at the default 1e-6 scale): the
+        # interpolated p50 must land near the true median instead of
+        # snapping to the bucket's upper edge (the pre-interpolation
+        # behaviour returned ~2.0ms here, a 30% overestimate).
+        hist = Histogram()
+        samples = [1.05e-3 + i * (0.95e-3 / 99) for i in range(100)]
+        for value in samples:
+            hist.record(value)
+        true_median = (samples[49] + samples[50]) / 2
+        p50 = hist.percentile(50.0)
+        assert p50 == pytest.approx(true_median, rel=0.05)
+        assert p50 < max(samples)
+
+    def test_histogram_percentile_clamps_to_observed_extremes(self):
+        hist = Histogram()
+        for _ in range(10):
+            hist.record(1.5e-3)
+        # Every percentile of a constant sample set is that constant:
+        # interpolation would land elsewhere in the bucket, but the
+        # observed min/max clamp pins it.
+        for p in (1.0, 50.0, 99.0):
+            assert hist.percentile(p) == pytest.approx(1.5e-3)
+
+    def test_percentile_from_buckets_validates_p(self):
+        from repro.obs import percentile_from_buckets
+
+        with pytest.raises(ValueError):
+            percentile_from_buckets((), 0, 0.0, 1e-6, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            percentile_from_buckets((), 0, 101.0, 1e-6, 0.0, 0.0)
+        assert percentile_from_buckets((), 0, 99.0, 1e-6, 0.0, 0.0) == 0.0
+
     def test_empty_histogram_snapshot(self):
         snap = Histogram().snapshot()
         assert snap["count"] == 0
